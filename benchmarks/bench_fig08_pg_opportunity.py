@@ -1,0 +1,78 @@
+"""Figure 8: how the techniques increase power-gating opportunity.
+
+Three panels over the integer unit (FP trends match, per the paper):
+
+* 8a — fraction of idle cycles, normalised to the baseline two-level
+  scheduler (GATES extracts ~3% more, Coordinated Blackout ~10%).
+* 8b — signed compensated-state residency: cycles in the compensated
+  gating state minus uncompensated, over total cycles (negative bars =
+  gating mostly lost energy).
+* 8c — gating events (wakeups) normalised to conventional gating
+  (Warped Gates roughly halves them in the paper).
+"""
+
+from repro.analysis.report import format_table
+from repro.harness import figures
+from repro.isa.optypes import ExecUnitKind
+
+from conftest import print_figure
+
+
+def test_fig08a_idle_cycles(benchmark, runner):
+    rows = benchmark.pedantic(figures.fig8a_rows, args=(runner,),
+                              rounds=1, iterations=1)
+    text = format_table(figures.FIG8A_HEADERS, rows,
+                        title="Figure 8a: idle-cycle fraction vs "
+                              "baseline scheduler (INT unit)")
+    print_figure("FIG 8a", text + "\n\npaper: GATES ~1.03x, Coordinated "
+                 "Blackout ~1.10x on average")
+    geo = rows[-1]
+    assert geo[0] == "geomean"
+    # All techniques keep idle fractions in the same ballpark as the
+    # baseline (no technique halves or doubles idleness).
+    for value in geo[1:]:
+        assert 0.7 < value < 1.5
+
+
+def test_fig08b_compensated_cycles(benchmark, runner):
+    rows = benchmark.pedantic(figures.fig8b_rows, args=(runner,),
+                              rounds=1, iterations=1)
+    text = format_table(figures.FIG8B_HEADERS, rows,
+                        title="Figure 8b: compensated-state residency "
+                              "(INT unit, signed)")
+    print_figure("FIG 8b", text + "\n\npaper (geomean of %): ConvPG "
+                 "20.9, GATES 22.6, Warped Gates 33.5; cutcp/mri are "
+                 "negative under ConvPG/GATES.  Full-scale measured "
+                 "means: 0.221 / 0.218 / 0.137 (our Warped Gates gates "
+                 "less often but wastes less of it -- see "
+                 "EXPERIMENTS.md)")
+    mean = rows[-1]
+    assert mean[0] == "mean"
+    # Compensated residency dominates uncompensated for every technique
+    # at suite level.
+    for value in mean[1:]:
+        assert value > 0.0
+    # Some benchmarks sit net-uncompensated under ConvPG/GATES (the
+    # paper's cutcp/mri bars); Blackout keeps the overhang bounded.
+    for row in rows[:-1]:
+        assert row[3] > -0.35
+
+
+def test_fig08c_wakeups(benchmark, runner):
+    rows = benchmark.pedantic(figures.fig8c_rows, args=(runner,),
+                              rounds=1, iterations=1)
+    text = format_table(figures.FIG8C_HEADERS, rows,
+                        title="Figure 8c: gating events normalised to "
+                              "ConvPG (INT unit)")
+    print_figure("FIG 8c", text + "\n\npaper: Coordinated Blackout "
+                 "-26%, Warped Gates -46% events vs ConvPG.  Full-scale "
+                 "measured geomeans: GATES 1.18, coord 0.97, warped "
+                 "0.89 (GATES alone increases wakeups, as the paper "
+                 "notes; run with --figure-scale=1.0 to see the "
+                 "reduction)")
+    geo = rows[-1]
+    # Adaptation cuts events relative to plain GATES + conv gating, and
+    # no technique blows the event count up.
+    assert geo[3] <= geo[1] + 0.02
+    for value in geo[1:]:
+        assert 0.3 < value < 1.6

@@ -1,0 +1,34 @@
+"""Figure 10: performance impact of the gating techniques.
+
+Regenerates normalised performance (baseline cycles / technique cycles)
+per benchmark and the geomean summary.  The paper's shape: ConvPG and
+GATES cost ~1%, Naive Blackout is the worst (~5%), Coordinated Blackout
+recovers to ~2% and Warped Gates lands back near ConvPG.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.techniques import Technique
+from repro.harness import figures
+
+from conftest import print_figure
+
+
+def test_fig10_normalized_performance(benchmark, runner):
+    rows = benchmark.pedantic(figures.fig10_rows, args=(runner,),
+                              rounds=1, iterations=1)
+    text = format_table(figures.FIG10_HEADERS, rows,
+                        title="Figure 10: normalised performance")
+    print_figure("FIG 10", text + "\n\npaper geomeans: conv 0.99, gates "
+                 "0.99, naive 0.95, coord 0.98, warped 0.99")
+
+    geo = rows[-1]
+    assert geo[0] == "geomean"
+    conv, gates, naive, coord, warped = geo[1:]
+    # Every technique stays within a ~10% band of the baseline.
+    for value in (conv, gates, naive, coord, warped):
+        assert value > 0.9
+    # Warped Gates recovers the Blackout losses: best of the three
+    # blackout variants, and close to conventional gating.
+    assert warped >= naive
+    assert warped >= coord - 0.01
+    assert warped > 0.95

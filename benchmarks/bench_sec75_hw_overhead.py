@@ -1,0 +1,34 @@
+"""Section 7.5: hardware overhead of the added counters.
+
+Regenerates the paper's overhead arithmetic from the counter inventory
+(the GATES type bits, ACTV/RDY counters and priority register; the
+Blackout BET countdowns; the adaptive critical-wakeup and idle-detect
+registers) and the quoted 45 nm synthesis constants.
+"""
+
+from repro.analysis.report import format_table
+from repro.harness import figures
+from repro.power.overhead import bits_by_technique, overhead_report
+
+from conftest import print_figure
+
+
+def test_sec75_hardware_overhead(benchmark):
+    rows = benchmark.pedantic(figures.sec75_rows, rounds=1, iterations=1)
+    text = format_table(figures.SEC75_HEADERS, rows,
+                        title="Section 7.5: per-SM counter overhead")
+    inventory = bits_by_technique()
+    inv_text = "\n".join(f"  {tech}: {bits} bits"
+                         for tech, bits in sorted(inventory.items()))
+    print_figure("SEC 7.5", text + "\n\nstorage inventory per SM:\n"
+                 + inv_text + "\n\npaper: 1,210.8 um^2 (0.003% of a "
+                 "48.1 mm^2 SM), 0.08% dynamic and 0.0007% leakage "
+                 "power overhead")
+
+    report = overhead_report()
+    # The paper's reported overhead magnitudes must fall out of the
+    # inventory + constants.
+    assert report.area_fraction < 1e-4          # "0.003%" area
+    assert report.dynamic_fraction < 1e-3       # "0.08%" dynamic
+    assert report.leakage_fraction < 1e-4       # "0.0007%" leakage
+    assert inventory["GATES"] > inventory["Blackout"]

@@ -1,0 +1,43 @@
+"""Simulator throughput: simulated cycles per wall-clock second.
+
+Not a paper figure — the standard housekeeping number any simulator
+release reports.  Measures the cycle model's speed on a standard
+workload under the cheapest (baseline) and most instrumented (Warped
+Gates) configurations, with real multi-round statistics (this is the
+one bench where pytest-benchmark's repetition machinery earns its keep,
+since the measured function is fast and deterministic).
+"""
+
+from repro.core.techniques import Technique, TechniqueConfig, build_sm
+from repro.workloads.registry import build_kernel
+from repro.workloads.specs import get_profile
+
+from conftest import print_figure
+
+BENCH = "hotspot"
+SCALE = 0.5
+
+
+def run_once(technique: Technique) -> int:
+    kernel = build_kernel(BENCH, scale=SCALE)
+    sm = build_sm(kernel, TechniqueConfig(technique),
+                  dram_latency=get_profile(BENCH).dram_latency)
+    return sm.run().cycles
+
+
+def test_speed_baseline(benchmark):
+    cycles = benchmark.pedantic(run_once, args=(Technique.BASELINE,),
+                                rounds=3, iterations=1, warmup_rounds=1)
+    rate = cycles / benchmark.stats.stats.mean
+    print_figure("SPEED/baseline",
+                 f"{cycles} simulated cycles at {rate:,.0f} cycles/s")
+    assert rate > 1_000  # sanity floor: a regression to <1k cyc/s is a bug
+
+
+def test_speed_warped_gates(benchmark):
+    cycles = benchmark.pedantic(run_once, args=(Technique.WARPED_GATES,),
+                                rounds=3, iterations=1, warmup_rounds=1)
+    rate = cycles / benchmark.stats.stats.mean
+    print_figure("SPEED/warped_gates",
+                 f"{cycles} simulated cycles at {rate:,.0f} cycles/s")
+    assert rate > 1_000

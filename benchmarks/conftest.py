@@ -1,0 +1,60 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every ``bench_fig*.py`` file regenerates one of the paper's tables or
+figures: it runs the experiment grid, prints the same rows/series the
+paper reports (next to the paper's values where the paper states them),
+and records the regeneration time via pytest-benchmark.
+
+Simulation results are memoised in a session-scoped runner, so the grid
+is built incrementally across benches: the first figure touching a
+(benchmark, technique) cell pays for its simulation, later figures reuse
+it.  Timings therefore measure *incremental* regeneration work.
+
+The default scale (0.5) keeps the full bench suite to a few minutes
+while preserving every qualitative result; pass ``--figure-scale=1.0``
+for full-fidelity runs (as recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner, ExperimentSettings
+
+
+def pytest_addoption(parser):
+    parser.addoption("--figure-scale", action="store", type=float,
+                     default=0.5,
+                     help="workload scale for figure regeneration")
+
+
+@pytest.fixture(scope="session")
+def figure_scale(request) -> float:
+    return request.config.getoption("--figure-scale")
+
+
+@pytest.fixture(scope="session")
+def runner(figure_scale) -> ExperimentRunner:
+    """Session-wide memoising runner over the full 18-benchmark suite."""
+    return ExperimentRunner(ExperimentSettings(scale=figure_scale))
+
+
+@pytest.fixture(scope="session")
+def sweep_runner(figure_scale) -> ExperimentRunner:
+    """Smaller-suite runner for the parameter sweeps (Figs. 6 and 11).
+
+    The sweeps multiply the grid by up to 11 parameter values, so they
+    run on a representative 6-benchmark subset covering compute-bound
+    (sgemm, cutcp), balanced (hotspot, srad) and memory-bound (bfs, mri)
+    behaviour.
+    """
+    benchmarks = ("hotspot", "sgemm", "cutcp", "srad", "bfs", "mri")
+    return ExperimentRunner(ExperimentSettings(
+        scale=min(figure_scale, 0.5), benchmarks=benchmarks))
+
+
+def print_figure(title: str, text: str) -> None:
+    """Uniform banner so bench output is easy to scan with -s."""
+    print()
+    print("#" * 72)
+    print(f"# {title}")
+    print("#" * 72)
+    print(text)

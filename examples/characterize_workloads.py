@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Workload characterisation (reproduces the paper's Figure 5).
+
+Prints (a) the instruction-type mix of every benchmark model and (b)
+the measured active-warp population from baseline simulator runs, side
+by side with the values read off the paper's figure.  The paper uses
+this data to argue GATES has room to work: most benchmarks have both a
+healthy INT/FP mix and enough active warps to reorder.
+
+Usage::
+
+    python examples/characterize_workloads.py [--scale 1.0]
+"""
+
+import argparse
+
+from repro.analysis.report import format_table
+from repro.harness import figures
+from repro.harness.experiment import ExperimentRunner, ExperimentSettings
+from repro.workloads.characterization import count_low_occupancy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args()
+    runner = ExperimentRunner(ExperimentSettings(scale=args.scale))
+
+    print(format_table(figures.FIG5A_HEADERS, figures.fig5a_rows(runner),
+                       title="Figure 5a: instruction mix"))
+    print()
+    rows = figures.fig5b_rows(runner)
+    print(format_table(figures.FIG5B_HEADERS, rows,
+                       title="Figure 5b: active warps (measured vs paper)"))
+    low = count_low_occupancy(
+        [{"avg_active_warps": r[1]} for r in rows])
+    print(f"\nbenchmarks averaging fewer than 10 active warps: {low} "
+          f"(paper: 5 of 18)")
+
+
+if __name__ == "__main__":
+    main()

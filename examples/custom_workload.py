@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Tutorial: evaluating Warped Gates on your own workload model.
+
+The 18 built-in benchmarks are statistical models; nothing stops you
+from describing your own kernel.  This example builds a deliberately
+extreme workload — long INT phases alternating with long FP phases at
+the *trace* level — and shows how each technique exploits it, plus a
+fully hand-written two-warp kernel at the instruction level.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro.analysis.report import format_fraction, format_table
+from repro.core.techniques import Technique, TechniqueConfig, build_sm
+from repro.isa.instructions import fp_op, int_op, load_op, store_op
+from repro.isa.optypes import ExecUnitKind, OpClass
+from repro.isa.trace import KernelTrace, WarpTrace
+from repro.isa.tracegen import TraceSpec, generate_kernel
+
+BET = 14
+
+
+def statistical_workload() -> KernelTrace:
+    """A custom spec: FP-light workload with heavy divergence."""
+    spec = TraceSpec(
+        name="custom-fp-light",
+        mix={OpClass.INT: 0.62, OpClass.FP: 0.08,
+             OpClass.SFU: 0.02, OpClass.LDST: 0.28},
+        n_warps=64, instructions_per_warp=80, max_resident_warps=32,
+        dep_prob=0.4, dep_distance_mean=4.0,
+        load_fraction=0.75, footprint_lines=2048, locality=0.7,
+        shared_fraction=0.2, branch_prob=0.1)
+    return generate_kernel(spec, seed=42)
+
+
+def handwritten_kernel() -> KernelTrace:
+    """Two warps written instruction by instruction."""
+    producer = WarpTrace(0, (
+        load_op(dest=0, line_addr=16),
+        int_op(dest=1, srcs=(0,)),
+        int_op(dest=2, srcs=(1,)),
+        fp_op(dest=3, srcs=(2,)),
+        store_op(line_addr=17, srcs=(3,)),
+    ))
+    consumer = WarpTrace(1, (
+        load_op(dest=0, line_addr=16),
+        fp_op(dest=1, srcs=(0,)),
+        fp_op(dest=2, srcs=(1,)),
+        int_op(dest=3, srcs=(2,)),
+    ))
+    return KernelTrace(name="handwritten", warps=(producer, consumer),
+                       max_resident_warps=2)
+
+
+def savings(result, kind) -> float:
+    activity = result.unit_activity(kind)
+    if activity.cycles == 0:
+        return 0.0
+    return (activity.gated_cycles
+            - activity.gating_events * BET) / activity.cycles
+
+
+def main() -> None:
+    print(__doc__)
+    kernel = statistical_workload()
+    rows = []
+    baseline_cycles = None
+    for technique in (Technique.BASELINE, Technique.CONV_PG,
+                      Technique.WARPED_GATES):
+        sm = build_sm(kernel, TechniqueConfig(technique), dram_latency=380)
+        result = sm.run()
+        if technique is Technique.BASELINE:
+            baseline_cycles = result.cycles
+        rows.append([technique.value, result.cycles,
+                     format_fraction(savings(result, ExecUnitKind.INT)),
+                     format_fraction(savings(result, ExecUnitKind.FP)),
+                     f"{baseline_cycles / result.cycles:.3f}"])
+    print(format_table(
+        ("technique", "cycles", "int saved", "fp saved", "perf"),
+        rows, title="Custom FP-light workload"))
+    print("\nAn FP-light mix leaves the FP clusters asleep almost the "
+          "whole run -- gating pays maximally there.\n")
+
+    result = build_sm(handwritten_kernel(),
+                      TechniqueConfig(Technique.WARPED_GATES),
+                      dram_latency=200).run()
+    print(f"handwritten kernel: {result.cycles} cycles, "
+          f"{result.stats.instructions_retired} instructions retired, "
+          f"L1 merges={result.memory.merged_misses} "
+          f"(both warps share line 16)")
+
+
+if __name__ == "__main__":
+    main()

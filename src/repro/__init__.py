@@ -1,0 +1,45 @@
+"""Warped Gates (MICRO 2013) reproduction.
+
+A trace-driven, cycle-level GPGPU SM simulator plus the paper's three
+techniques — the GATES gating-aware warp scheduler, Blackout power
+gating (naive and coordinated), and Adaptive idle-detect — together
+called *Warped Gates*.
+
+Quick start::
+
+    from repro import Technique, TechniqueConfig, run_benchmark
+
+    base = run_benchmark("hotspot", TechniqueConfig(Technique.BASELINE))
+    wg = run_benchmark("hotspot", TechniqueConfig(Technique.WARPED_GATES))
+    print(base.cycles, wg.cycles)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core.techniques import (
+    PAPER_TECHNIQUES,
+    Technique,
+    TechniqueConfig,
+    build_sm,
+    run_benchmark,
+)
+from repro.power.params import EnergyParams, GatingParams
+from repro.sim.config import MemoryConfig, SMConfig
+from repro.workloads.specs import BENCHMARK_NAMES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_TECHNIQUES",
+    "Technique",
+    "TechniqueConfig",
+    "build_sm",
+    "run_benchmark",
+    "EnergyParams",
+    "GatingParams",
+    "MemoryConfig",
+    "SMConfig",
+    "BENCHMARK_NAMES",
+    "__version__",
+]

@@ -1,0 +1,91 @@
+"""Idle-period histogram analysis (Figure 3 of the paper).
+
+Figure 3 partitions every idle-period length into three regions:
+
+* **wasted** — shorter than the idle-detect window; too short to ever
+  gate;
+* **loss** — between idle-detect and idle-detect + BET; conventional
+  gating fires here but wakes up before break-even, a net energy loss
+  (Blackout empties this region by construction);
+* **gain** — beyond idle-detect + BET; gating pays off.
+
+For hotspot the paper reports (83.4%, 10.1%, 6.5%) under the baseline
+two-level scheduler, (59.0%, 22.1%, 18.9%) under GATES, and
+(54.3%, 0.0%, 45.7%) under GATES + Blackout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class IdleRegions:
+    """Fractions of idle periods per Figure 3 region (sum to 1)."""
+
+    wasted: float      # length < idle_detect
+    loss: float        # idle_detect <= length < idle_detect + bet
+    gain: float        # length >= idle_detect + bet
+    total_periods: int
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        """(wasted, loss, gain) fractions, in Figure 3's order."""
+        return (self.wasted, self.loss, self.gain)
+
+
+def region_fractions(histogram: Mapping[int, int], idle_detect: int = 5,
+                     bet: int = 14) -> IdleRegions:
+    """Partition an idle-period length histogram into the three regions.
+
+    Args:
+        histogram: idle-period length -> occurrence count (as produced
+            by :meth:`repro.sim.sm.SimResult.idle_histogram`).
+        idle_detect: Idle-detect window used for the partition.
+        bet: Break-even time used for the partition.
+    """
+    if idle_detect < 0 or bet < 1:
+        raise ValueError("need idle_detect >= 0 and bet >= 1")
+    wasted = loss = gain = 0
+    for length, count in histogram.items():
+        if count < 0 or length < 1:
+            raise ValueError(f"malformed histogram entry {length}:{count}")
+        if length < idle_detect:
+            wasted += count
+        elif length < idle_detect + bet:
+            loss += count
+        else:
+            gain += count
+    total = wasted + loss + gain
+    if total == 0:
+        return IdleRegions(0.0, 0.0, 0.0, 0)
+    return IdleRegions(wasted / total, loss / total, gain / total, total)
+
+
+def histogram_series(histogram: Mapping[int, int], max_length: int = 25,
+                     ) -> List[Tuple[int, float]]:
+    """Frequency series for plotting Figure 3's x-axis (1..max_length).
+
+    Lengths beyond ``max_length`` are folded into the last bucket, the
+    way the paper's plots truncate the tail.
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+    total = sum(histogram.values())
+    if total == 0:
+        return [(length, 0.0) for length in range(1, max_length + 1)]
+    series = []
+    for length in range(1, max_length):
+        series.append((length, histogram.get(length, 0) / total))
+    tail = sum(count for length, count in histogram.items()
+               if length >= max_length)
+    series.append((max_length, tail / total))
+    return series
+
+
+def mean_idle_length(histogram: Mapping[int, int]) -> float:
+    """Average idle-period length in cycles."""
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    return sum(length * count for length, count in histogram.items()) / total

@@ -1,0 +1,140 @@
+"""Paper-reported reference values, in one place.
+
+Every number the paper states in its evaluation text (the figures
+themselves are bar charts; the text quotes these summaries) lives here
+so benches, tests and EXPERIMENTS.md all compare against the same
+constants instead of scattering magic numbers.
+
+Sources are the section references in the comments; all values are from
+Abdel-Majeed, Wong, Annavaram, "Warped Gates", MICRO-46 (2013).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------------
+# Figure 9 (section 7.3): suite-average static energy savings.
+# ---------------------------------------------------------------------------
+
+#: technique -> fraction of INT-unit static energy saved.
+FIG9_INT_SAVINGS: Dict[str, float] = {
+    "conv_pg": 0.201,
+    "gates": 0.215,
+    "naive_blackout": 0.278,
+    "coord_blackout": 0.315,
+    "warped_gates": 0.316,
+}
+
+#: technique -> fraction of FP-unit static energy saved (integer-only
+#: benchmarks excluded).
+FIG9_FP_SAVINGS: Dict[str, float] = {
+    "conv_pg": 0.314,
+    "gates": 0.352,
+    "naive_blackout": 0.411,
+    "coord_blackout": 0.456,
+    "warped_gates": 0.465,
+}
+
+# ---------------------------------------------------------------------------
+# Figure 10 (section 7.4): normalised performance (geomean).
+# ---------------------------------------------------------------------------
+
+FIG10_PERFORMANCE: Dict[str, float] = {
+    "conv_pg": 0.99,
+    "gates": 0.99,
+    "naive_blackout": 0.95,
+    "coord_blackout": 0.98,
+    "warped_gates": 0.99,
+}
+
+# ---------------------------------------------------------------------------
+# Figure 3 (sections 3.1 / 4.1 / 5): hotspot idle-period regions
+# (< idle-detect, idle-detect..idle-detect+BET, beyond).
+# ---------------------------------------------------------------------------
+
+FIG3_REGIONS: Dict[str, Tuple[float, float, float]] = {
+    "conv_pg": (0.834, 0.101, 0.065),
+    "gates": (0.590, 0.221, 0.189),
+    "blackout": (0.543, 0.000, 0.457),
+}
+
+# ---------------------------------------------------------------------------
+# Figure 8 (section 7.2).
+# ---------------------------------------------------------------------------
+
+#: Geomean compensated-state residency (%/100) per technique (Fig. 8b).
+FIG8B_COMPENSATED: Dict[str, float] = {
+    "conv_pg": 0.209,
+    "gates": 0.226,
+    "warped_gates": 0.335,
+}
+
+#: Wakeups relative to conventional gating (Fig. 8c text).
+FIG8C_WAKEUPS: Dict[str, float] = {
+    "coord_blackout": 0.74,   # "decreases the number of wakeups by 26%"
+    "warped_gates": 0.54,     # "further brings down ... by 46%"
+}
+
+# ---------------------------------------------------------------------------
+# Section 7.6 sensitivity quotes.
+# ---------------------------------------------------------------------------
+
+#: At BET 19: (conv INT savings, warped INT savings) — "nearly 2x".
+SENSITIVITY_BET19: Tuple[float, float] = (0.17, 0.33)
+
+#: At wakeup 9: conv saves 6%/10% INT/FP with ~10% perf loss; warped
+#: sustains 33%/48% with ~3% loss.
+SENSITIVITY_WAKEUP9 = {
+    "conv_pg": {"int": 0.06, "fp": 0.10, "perf": 0.90},
+    "warped_gates": {"int": 0.33, "fp": 0.48, "perf": 0.97},
+}
+
+# ---------------------------------------------------------------------------
+# Section 7.3 chip-level estimate and section 7.5 overhead.
+# ---------------------------------------------------------------------------
+
+#: (low, high) fraction of total on-chip power saved at 33% leakage.
+CHIP_SAVINGS_AT_33PCT: Tuple[float, float] = (0.0162, 0.0243)
+#: Same at a projected 50% leakage share.
+CHIP_SAVINGS_AT_50PCT: Tuple[float, float] = (0.0246, 0.0369)
+
+#: Section 7.5 synthesis results.
+OVERHEAD_AREA_UM2 = 1210.8
+OVERHEAD_AREA_PCT = 0.003
+OVERHEAD_DYNAMIC_PCT = 0.08
+OVERHEAD_LEAKAGE_PCT = 0.0007
+
+# ---------------------------------------------------------------------------
+# Evaluation setup (section 7.1) and background constants (section 2.2).
+# ---------------------------------------------------------------------------
+
+N_BENCHMARKS = 18
+N_SMS = 15
+CORE_CLOCK_MHZ = 700
+WARPS_PER_SM = 48
+DEFAULT_IDLE_DETECT = 5
+DEFAULT_BET = 14
+DEFAULT_WAKEUP = 3
+BET_RANGE_EXPLORED = (9, 14, 19, 24)   # from Hu et al. [13]
+ADAPTIVE_EPOCH_CYCLES = 1000
+ADAPTIVE_THRESHOLD = 5
+ADAPTIVE_BOUNDS = (5, 10)
+
+#: Figure 6: benchmarks with strong critical-wakeup correlation.
+FIG6_STRONG_CORRELATION_COUNT = 11
+
+
+@dataclass(frozen=True)
+class HeadlineClaim:
+    """The abstract's headline, as a checkable record."""
+
+    int_savings: float = 0.316
+    fp_savings: float = 0.465
+    performance_overhead: float = 0.01
+    area_overhead: float = 0.01
+    savings_ratio_vs_conventional: float = 1.5  # "~1.5x more"
+
+
+HEADLINE = HeadlineClaim()

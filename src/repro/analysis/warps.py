@@ -1,0 +1,84 @@
+"""Warp-level lifetime and load-imbalance analysis.
+
+The SM records every launched warp's launch/finish cycle
+(:class:`repro.sim.sm.WarpRecord`).  From those, this module derives the
+occupancy-tail picture: how uneven warp lifetimes are, how long the
+end-of-kernel drain tail runs with only a few resident warps, and how
+much of the run had full occupancy — the phases where execution units
+idle for *structural* rather than scheduling reasons, which bounds what
+any warp scheduler (GATES included) can coalesce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.sm import SimResult, WarpRecord
+
+
+@dataclass(frozen=True)
+class WarpSummary:
+    """Aggregate lifetime statistics of one run's warps."""
+
+    n_warps: int
+    mean_lifetime: float
+    max_lifetime: int
+    min_lifetime: int
+    last_launch: int
+    first_finish: int
+    drain_tail: int      # cycles after the last *other* warp finished
+    imbalance: float     # max/mean lifetime (1.0 = perfectly even)
+
+
+def summarize_warps(result: SimResult) -> WarpSummary:
+    """Aggregate a run's warp records."""
+    records = result.warp_records
+    if not records:
+        raise ValueError(f"{result.kernel_name}: run recorded no warps")
+    lifetimes = [r.lifetime for r in records]
+    mean = sum(lifetimes) / len(lifetimes)
+    finishes = sorted(r.finish_cycle for r in records)
+    drain_tail = finishes[-1] - (finishes[-2] if len(finishes) > 1
+                                 else finishes[-1])
+    return WarpSummary(
+        n_warps=len(records),
+        mean_lifetime=mean,
+        max_lifetime=max(lifetimes),
+        min_lifetime=min(lifetimes),
+        last_launch=max(r.launch_cycle for r in records),
+        first_finish=finishes[0],
+        drain_tail=drain_tail,
+        imbalance=max(lifetimes) / mean if mean else 0.0)
+
+
+def lifetime_histogram(records: Sequence[WarpRecord],
+                       bucket: int = 100) -> List[List[object]]:
+    """Warp lifetimes bucketed for a quick distribution view."""
+    if bucket < 1:
+        raise ValueError("bucket must be >= 1")
+    counts: dict = {}
+    for record in records:
+        key = (record.lifetime // bucket) * bucket
+        counts[key] = counts.get(key, 0) + 1
+    return [[low, f"{low}-{low + bucket - 1}", counts[low]]
+            for low in sorted(counts)]
+
+
+def occupancy_tail_fraction(result: SimResult,
+                            low_watermark: int = 4) -> float:
+    """Fraction of the run spent with few warps still unfinished.
+
+    Computed from finish cycles: the last ``low_watermark`` warps'
+    finishing window over the total runtime.  Large values mean a long
+    drain tail, where idle windows are structural and any gating scheme
+    can sleep.
+    """
+    records = result.warp_records
+    if not records or result.cycles == 0:
+        return 0.0
+    finishes = sorted(r.finish_cycle for r in records)
+    if len(finishes) <= low_watermark:
+        return 1.0
+    tail_start = finishes[-(low_watermark + 1)]
+    return (result.cycles - tail_start) / result.cycles

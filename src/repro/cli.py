@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``          — benchmarks and techniques available.
+* ``run``           — run one benchmark under one technique, print the
+  headline metrics.
+* ``figure``        — regenerate one of the paper's figures (prints the
+  rows; ``--csv`` / ``--json`` export them).
+* ``characterize``  — the Figure 5 workload-characterisation tables.
+* ``sweep``         — Figure 11 parameter sweeps (``bet`` / ``wakeup``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_fraction, format_table
+from repro.core.techniques import Technique
+from repro.harness import figures
+from repro.harness.experiment import (
+    ExperimentRunner,
+    ExperimentSettings,
+    normalized_performance,
+)
+from repro.harness.export import rows_to_csv, rows_to_json
+from repro.harness.sweeps import (
+    SWEEP_HEADERS,
+    bet_sweep,
+    sweep_rows,
+    wakeup_sweep,
+)
+from repro.isa.optypes import ExecUnitKind
+from repro.workloads.specs import BENCHMARK_NAMES
+
+#: figure name -> (headers, builder taking a runner)
+FIGURE_BUILDERS: Dict[str, Tuple[Sequence[str], Callable]] = {
+    "fig1b": (figures.FIG1B_HEADERS, figures.fig1b_rows),
+    "fig3": (figures.FIG3_HEADERS, figures.fig3_rows),
+    "fig5a": (figures.FIG5A_HEADERS, figures.fig5a_rows),
+    "fig5b": (figures.FIG5B_HEADERS, figures.fig5b_rows),
+    "fig8a": (figures.FIG8A_HEADERS, figures.fig8a_rows),
+    "fig8b": (figures.FIG8B_HEADERS, figures.fig8b_rows),
+    "fig8c": (figures.FIG8C_HEADERS, figures.fig8c_rows),
+    "fig9a": (figures.FIG9_HEADERS,
+              lambda r: figures.fig9_rows(r, ExecUnitKind.INT)),
+    "fig9b": (figures.FIG9_HEADERS,
+              lambda r: figures.fig9_rows(r, ExecUnitKind.FP)),
+    "fig10": (figures.FIG10_HEADERS, figures.fig10_rows),
+    "sec75": (figures.SEC75_HEADERS, lambda r: figures.sec75_rows()),
+    "fig6": (("benchmark", "pearson_r", "max_cw_per_kcyc",
+              "worst_norm_runtime"), None),  # handled specially below
+}
+
+
+def _fig6_rows(runner: ExperimentRunner):
+    from repro.harness.sweeps import idle_detect_sweep
+    rows = []
+    for result in idle_detect_sweep(runner):
+        rows.append([result.benchmark, result.pearson,
+                     max(x for x, _ in result.points),
+                     max(y for _, y in result.points)])
+    return rows
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Warped Gates (MICRO 2013) reproduction harness")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="trace-generation seed")
+    parser.add_argument("--benchmarks", metavar="NAME[,NAME...]",
+                        default=None,
+                        help="comma-separated benchmark subset")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and techniques")
+
+    run_cmd = sub.add_parser("run", help="run one benchmark/technique")
+    run_cmd.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    run_cmd.add_argument("technique",
+                         choices=[t.value for t in Technique])
+
+    fig_cmd = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_cmd.add_argument("name", choices=sorted(FIGURE_BUILDERS))
+    fig_cmd.add_argument("--csv", metavar="PATH",
+                         help="also write the rows as CSV")
+    fig_cmd.add_argument("--json", metavar="PATH",
+                         help="also write the rows as JSON")
+
+    sub.add_parser("characterize", help="Figure 5 tables")
+
+    sweep_cmd = sub.add_parser("sweep", help="Figure 11 sweeps")
+    sweep_cmd.add_argument("axis", choices=["bet", "wakeup"])
+
+    trace_cmd = sub.add_parser("trace",
+                               help="export a benchmark's kernel trace")
+    trace_cmd.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    trace_cmd.add_argument("path", help="output JSON path")
+
+    energy_cmd = sub.add_parser(
+        "energy", help="per-benchmark energy breakdown per technique")
+    energy_cmd.add_argument("benchmark", choices=BENCHMARK_NAMES)
+
+    replicate_cmd = sub.add_parser(
+        "replicate", help="multi-seed replication of the headline table")
+    replicate_cmd.add_argument("--seeds", type=int, default=3,
+                               help="number of seeds (default 3)")
+
+    return parser
+
+
+def _parse_benchmarks(raw: Optional[str]) -> Tuple[str, ...]:
+    if raw is None:
+        return BENCHMARK_NAMES
+    names = tuple(name.strip() for name in raw.split(",") if name.strip())
+    unknown = [n for n in names if n not in BENCHMARK_NAMES]
+    if unknown or not names:
+        known = ", ".join(BENCHMARK_NAMES)
+        raise SystemExit(f"unknown benchmarks {unknown}; known: {known}")
+    return names
+
+
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(ExperimentSettings(
+        seed=args.seed, scale=args.scale,
+        benchmarks=_parse_benchmarks(args.benchmarks)))
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """List benchmarks, techniques and figure names."""
+    print("benchmarks:")
+    for name in BENCHMARK_NAMES:
+        print(f"  {name}")
+    print("techniques:")
+    for technique in Technique:
+        print(f"  {technique.value}")
+    print("figures:")
+    for name in sorted(FIGURE_BUILDERS):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one benchmark under one technique; print headline metrics."""
+    runner = _runner(args)
+    technique = Technique(args.technique)
+    result = runner.run(args.benchmark, technique)
+    base = runner.baseline(args.benchmark)
+    int_savings = runner.static_savings(args.benchmark, technique,
+                                        ExecUnitKind.INT)
+    fp_savings = runner.static_savings(args.benchmark, technique,
+                                       ExecUnitKind.FP)
+    rows = [
+        ("cycles", result.cycles),
+        ("ipc", round(result.stats.ipc, 3)),
+        ("avg_active_warps", round(result.stats.avg_active_warps, 1)),
+        ("normalized_performance",
+         round(normalized_performance(base, result), 4)),
+        ("int_static_savings", format_fraction(int_savings)),
+        ("fp_static_savings", format_fraction(fp_savings)),
+        ("l1_miss_rate", round(result.memory.miss_rate, 3)),
+    ]
+    print(format_table(("metric", "value"), rows,
+                       title=f"{args.benchmark} / {technique.value}"))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Regenerate one paper figure; optionally export CSV/JSON."""
+    headers, builder = FIGURE_BUILDERS[args.name]
+    runner = _runner(args)
+    rows = _fig6_rows(runner) if args.name == "fig6" else builder(runner)
+    print(format_table(headers, rows, title=args.name))
+    if args.csv:
+        rows_to_csv(headers, rows, path=args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        rows_to_json(headers, rows, path=args.json, figure=args.name)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    """Print the Figure 5 workload-characterisation tables."""
+    runner = _runner(args)
+    print(format_table(figures.FIG5A_HEADERS, figures.fig5a_rows(runner),
+                       title="Figure 5a: instruction mix"))
+    print()
+    print(format_table(figures.FIG5B_HEADERS, figures.fig5b_rows(runner),
+                       title="Figure 5b: active warps"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a Figure 11 parameter sweep (BET or wakeup delay)."""
+    runner = _runner(args)
+    sweep = bet_sweep if args.axis == "bet" else wakeup_sweep
+    points = sweep(runner)
+    title = ("Figure 11a: break-even time" if args.axis == "bet"
+             else "Figure 11b: wakeup delay")
+    print(format_table(SWEEP_HEADERS, sweep_rows(points), title=title))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Export one benchmark's generated kernel trace as JSON."""
+    from repro.isa.traceio import save_kernel
+    from repro.workloads.registry import build_kernel
+
+    kernel = build_kernel(args.benchmark, seed=args.seed,
+                          scale=args.scale)
+    save_kernel(kernel, args.path)
+    print(f"wrote {args.path}: {kernel.n_warps} warps, "
+          f"{kernel.total_instructions} instructions")
+    return 0
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    """Print a per-benchmark normalised energy breakdown table."""
+    from repro.core.techniques import PAPER_TECHNIQUES
+
+    runner = _runner(args)
+    rows = []
+    for technique in (Technique.BASELINE,) + tuple(PAPER_TECHNIQUES):
+        for kind, label in ((ExecUnitKind.INT, "int"),
+                            (ExecUnitKind.FP, "fp")):
+            norm = runner.energy_breakdown(args.benchmark, technique,
+                                           kind).normalized()
+            rows.append([technique.value, label, norm.dynamic,
+                         norm.overhead, norm.static,
+                         norm.dynamic + norm.overhead + norm.static])
+    print(format_table(
+        ("technique", "unit", "dynamic", "overhead", "static", "total"),
+        rows, title=f"Normalised energy breakdown: {args.benchmark} "
+                    f"(1.0 = no-gating baseline)"))
+    return 0
+
+
+def cmd_replicate(args: argparse.Namespace) -> int:
+    """Rerun the headline table over several seeds (mean +/- sd)."""
+    from repro.harness.experiment import ExperimentSettings
+    from repro.harness.replication import (
+        REPLICATION_HEADERS,
+        replicate,
+        replication_rows,
+    )
+
+    settings = ExperimentSettings(
+        scale=args.scale, benchmarks=_parse_benchmarks(args.benchmarks))
+    results = replicate(settings, seeds=tuple(range(args.seeds)))
+    print(format_table(REPLICATION_HEADERS, replication_rows(results),
+                       title=f"Headline metrics over {args.seeds} seeds"))
+    return 0
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "figure": cmd_figure,
+    "characterize": cmd_characterize,
+    "sweep": cmd_sweep,
+    "trace": cmd_trace,
+    "energy": cmd_energy,
+    "replicate": cmd_replicate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

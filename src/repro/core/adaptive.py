@@ -1,0 +1,112 @@
+"""Adaptive idle-detect (paper section 5.1).
+
+Blackout can hurt the rare workload whose ready instructions pile up
+behind blacked-out units.  Adaptive idle-detect infers that situation
+from *critical wakeups* — wakeups granted at the exact cycle a blackout
+expires, meaning an instruction was already waiting — and regulates the
+idle-detect window per unit type:
+
+* time is split into epochs (1000 cycles);
+* more than ``threshold`` (5) critical wakeups in an epoch -> increment
+  the type's idle-detect window (gate more conservatively), reacting
+  quickly to performance-critical phases;
+* only after ``decay_epochs`` (4) consecutive quiet epochs -> decrement,
+  decaying slowly back toward aggressive gating;
+* the window is bounded to [5, 10] cycles, which the paper found to
+  trade off better than unbounded adaptation.
+
+INT and FP adapt independently, each driven by the summed critical
+wakeups of its (two) cluster domains, and the adjusted window is written
+into every cluster of the type (the shared idle-detect register of
+Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.power.gating import GatingDomain
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Tuning constants of the epoch controller (paper defaults)."""
+
+    epoch_cycles: int = 1000
+    threshold: int = 5
+    decay_epochs: int = 4
+    min_idle_detect: int = 5
+    max_idle_detect: int = 10
+
+    def __post_init__(self) -> None:
+        if self.epoch_cycles < 1:
+            raise ValueError("epoch_cycles must be >= 1")
+        if self.threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        if self.decay_epochs < 1:
+            raise ValueError("decay_epochs must be >= 1")
+        if not 0 <= self.min_idle_detect <= self.max_idle_detect:
+            raise ValueError("need 0 <= min_idle_detect <= max_idle_detect")
+
+
+class AdaptiveIdleDetect:
+    """Epoch-based idle-detect regulator for one unit type.
+
+    Plugs into the SM as a per-cycle hook; one instance per unit type
+    (INT, FP), each owning that type's cluster domains.
+    """
+
+    def __init__(self, domains: Sequence[GatingDomain],
+                 config: AdaptiveConfig = AdaptiveConfig()) -> None:
+        if not domains:
+            raise ValueError("adaptive control needs at least one domain")
+        self.domains = list(domains)
+        self.config = config
+        self._last_seen_critical = 0
+        self._quiet_epochs = 0
+        self._next_epoch_end = config.epoch_cycles
+        #: (epoch index, critical wakeups, resulting idle-detect) log,
+        #: used by the adaptive-dynamics example and tests.
+        self.history: List[Tuple[int, int, int]] = []
+        self._epoch_index = 0
+        # Start inside the bounded range.
+        start = min(max(self.domains[0].idle_detect,
+                        config.min_idle_detect), config.max_idle_detect)
+        self._apply(start)
+
+    @property
+    def idle_detect(self) -> int:
+        """The type's current idle-detect window."""
+        return self.domains[0].idle_detect
+
+    def on_cycle(self, cycle: int) -> None:
+        """SM hook: close the epoch when its last cycle has run."""
+        if cycle + 1 < self._next_epoch_end:
+            return
+        self._next_epoch_end += self.config.epoch_cycles
+        self._close_epoch()
+
+    # ------------------------------------------------------------------
+
+    def _close_epoch(self) -> None:
+        total_critical = sum(d.stats.critical_wakeups for d in self.domains)
+        this_epoch = total_critical - self._last_seen_critical
+        self._last_seen_critical = total_critical
+        cfg = self.config
+        value = self.idle_detect
+        if this_epoch > cfg.threshold:
+            value = min(value + 1, cfg.max_idle_detect)
+            self._quiet_epochs = 0
+        else:
+            self._quiet_epochs += 1
+            if self._quiet_epochs >= cfg.decay_epochs:
+                value = max(value - 1, cfg.min_idle_detect)
+                self._quiet_epochs = 0
+        self._apply(value)
+        self.history.append((self._epoch_index, this_epoch, value))
+        self._epoch_index += 1
+
+    def _apply(self, value: int) -> None:
+        for domain in self.domains:
+            domain.idle_detect = value

@@ -1,0 +1,211 @@
+"""Technique registry and simulator wiring.
+
+Names follow the paper's evaluation nomenclature (section 7.2):
+
+* ``BASELINE``          — two-level scheduler, no power gating.
+* ``CONV_PG``           — two-level scheduler + conventional power gating.
+* ``GATES``             — GATES scheduler + conventional power gating.
+* ``NAIVE_BLACKOUT``    — GATES + Naive Blackout.
+* ``COORD_BLACKOUT``    — GATES + Coordinated Blackout.
+* ``WARPED_GATES``      — GATES + Coordinated Blackout + Adaptive
+  idle-detect: the full system.
+
+Plus ablations the paper's design discussion motivates but does not name:
+
+* ``GATES_NO_PG``       — GATES scheduling alone (performance isolation).
+* ``BLACKOUT_NO_GATES`` — Naive Blackout under the baseline scheduler
+  (how much of Blackout's win needs GATES' coalescing?).
+* ``LRR_CONV_PG``       — conventional gating under a single-level
+  round-robin scheduler (pre-two-level reference point).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveIdleDetect
+from repro.core.blackout import CoordinatedBlackoutPolicy, NaiveBlackoutPolicy
+from repro.core.gates import GatesScheduler
+from repro.isa.optypes import OpClass, UNIT_FOR_OP_CLASS
+from repro.isa.trace import KernelTrace
+from repro.power.gating import ConventionalPolicy, GatingDomain, GatingPolicy
+from repro.power.params import GatingParams
+from repro.sim.config import SMConfig
+from repro.sim.sched.ccws import CCWSScheduler, MonitorDecayHook
+from repro.sim.sched.fetch_group import FetchGroupScheduler
+from repro.sim.sched.two_level import (
+    LooseRoundRobinScheduler,
+    TwoLevelScheduler,
+)
+from repro.sim.sm import SimResult, StreamingMultiprocessor
+from repro.workloads.registry import build_kernel
+from repro.workloads.specs import get_profile
+
+
+class Technique(enum.Enum):
+    """Scheduling / power-gating configurations under evaluation."""
+
+    BASELINE = "baseline"
+    CONV_PG = "conv_pg"
+    GATES = "gates"
+    NAIVE_BLACKOUT = "naive_blackout"
+    COORD_BLACKOUT = "coord_blackout"
+    WARPED_GATES = "warped_gates"
+    # ablations
+    GATES_NO_PG = "gates_no_pg"
+    BLACKOUT_NO_GATES = "blackout_no_gates"
+    LRR_CONV_PG = "lrr_conv_pg"
+    FETCH_GROUP_CONV_PG = "fetch_group_conv_pg"
+    CCWS_CONV_PG = "ccws_conv_pg"
+
+
+#: The five techniques of Figures 9 and 10, in the paper's legend order.
+PAPER_TECHNIQUES = (
+    Technique.CONV_PG,
+    Technique.GATES,
+    Technique.NAIVE_BLACKOUT,
+    Technique.COORD_BLACKOUT,
+    Technique.WARPED_GATES,
+)
+
+_GATES_SCHEDULED = {
+    Technique.GATES,
+    Technique.NAIVE_BLACKOUT,
+    Technique.COORD_BLACKOUT,
+    Technique.WARPED_GATES,
+    Technique.GATES_NO_PG,
+}
+
+_GATED = {
+    Technique.CONV_PG,
+    Technique.GATES,
+    Technique.NAIVE_BLACKOUT,
+    Technique.COORD_BLACKOUT,
+    Technique.WARPED_GATES,
+    Technique.BLACKOUT_NO_GATES,
+    Technique.LRR_CONV_PG,
+    Technique.FETCH_GROUP_CONV_PG,
+    Technique.CCWS_CONV_PG,
+}
+
+_BLACKOUT_AWARE = {Technique.COORD_BLACKOUT, Technique.WARPED_GATES}
+
+
+@dataclass(frozen=True)
+class TechniqueConfig:
+    """All knobs of one experimental configuration."""
+
+    technique: Technique = Technique.WARPED_GATES
+    gating: GatingParams = field(default_factory=GatingParams)
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+    max_priority_cycles: Optional[int] = None
+    #: Also gate the SFU group (conventionally).  Off by default: the
+    #: paper leaves SFUs to conventional gating and reports INT/FP only.
+    gate_sfu: bool = False
+
+    @property
+    def label(self) -> str:
+        """Display name used in experiment records and reports."""
+        return self.technique.value
+
+
+def build_sm(kernel, config: TechniqueConfig,
+             sm_config: Optional[SMConfig] = None,
+             dram_latency: Optional[int] = None,
+             kernel_gap_cycles: int = 0) -> StreamingMultiprocessor:
+    """Assemble an SM wired for one technique.
+
+    ``kernel`` is a :class:`KernelTrace` or a sequence of them (run
+    back to back with barriers and ``kernel_gap_cycles`` of idle gap).
+    The wiring mirrors Figure 7: the scheduler choice, the per-cluster
+    gating domains with their policies, and (for Warped Gates) the
+    per-type adaptive idle-detect hooks.
+    """
+    sm_config = sm_config or SMConfig()
+    technique = config.technique
+
+    kernels = [kernel] if isinstance(kernel, KernelTrace) else list(kernel)
+    n_slots = min([sm_config.max_resident_warps]
+                  + [k.max_resident_warps for k in kernels])
+    if technique in _GATES_SCHEDULED:
+        scheduler = GatesScheduler(
+            n_slots=n_slots,
+            max_priority_cycles=config.max_priority_cycles,
+            blackout_aware=technique in _BLACKOUT_AWARE)
+    elif technique is Technique.LRR_CONV_PG:
+        scheduler = LooseRoundRobinScheduler(n_slots=n_slots)
+    elif technique is Technique.FETCH_GROUP_CONV_PG:
+        scheduler = FetchGroupScheduler(n_slots=n_slots)
+    elif technique is Technique.CCWS_CONV_PG:
+        scheduler = CCWSScheduler(n_slots=n_slots)
+    else:
+        scheduler = TwoLevelScheduler(n_slots=n_slots)
+
+    sm = StreamingMultiprocessor(kernel, sm_config, scheduler,
+                                 dram_latency=dram_latency,
+                                 technique=technique.value,
+                                 kernel_gap_cycles=kernel_gap_cycles)
+    if isinstance(scheduler, CCWSScheduler):
+        # Wire the lost-locality feedback loop: the memory path feeds
+        # the monitor, a cycle hook decays its scores.
+        sm.memory.attach_locality_monitor(scheduler.monitor)
+        sm.add_hook(MonitorDecayHook(scheduler.monitor))
+    if technique not in _GATED:
+        return sm
+
+    _attach_cuda_core_domains(sm, config)
+    if config.gate_sfu:
+        sfu_domain = GatingDomain("SFU", config.gating, ConventionalPolicy())
+        sm.attach_domain("SFU", sfu_domain)
+    return sm
+
+
+def _attach_cuda_core_domains(sm: StreamingMultiprocessor,
+                              config: TechniqueConfig) -> None:
+    technique = config.technique
+    for cls in (OpClass.INT, OpClass.FP):
+        pipes = sm.pipelines_of(UNIT_FOR_OP_CLASS[cls])
+        if technique in (Technique.COORD_BLACKOUT, Technique.WARPED_GATES):
+            policy: GatingPolicy = CoordinatedBlackoutPolicy(
+                actv_count=_actv_reader(sm, cls))
+        elif technique in (Technique.NAIVE_BLACKOUT,
+                           Technique.BLACKOUT_NO_GATES):
+            policy = NaiveBlackoutPolicy()
+        else:
+            policy = ConventionalPolicy()
+
+        domains: List[GatingDomain] = []
+        for pipe in pipes:
+            domain = GatingDomain(pipe.name, config.gating, policy)
+            if isinstance(policy, CoordinatedBlackoutPolicy):
+                policy.register(domain)
+            sm.attach_domain(pipe.name, domain)
+            domains.append(domain)
+
+        if technique is Technique.WARPED_GATES:
+            sm.add_hook(AdaptiveIdleDetect(domains, config.adaptive))
+
+
+def _actv_reader(sm: StreamingMultiprocessor, cls: OpClass):
+    """Late-bound reader of the SM's per-type ACTV counter."""
+    def read() -> int:
+        return sm.actv_counts[cls]
+    return read
+
+
+def run_benchmark(name: str, config: TechniqueConfig,
+                  sm_config: Optional[SMConfig] = None,
+                  seed: int = 0, scale: float = 1.0) -> SimResult:
+    """Build, wire and run one benchmark under one technique.
+
+    Uses the benchmark profile's DRAM latency; the trace for a given
+    ``(name, seed, scale)`` is identical across techniques, which is what
+    makes the paper's normalised comparisons meaningful.
+    """
+    kernel = build_kernel(name, seed=seed, scale=scale)
+    profile = get_profile(name)
+    sm = build_sm(kernel, config, sm_config=sm_config,
+                  dram_latency=profile.dram_latency)
+    return sm.run()

@@ -1,0 +1,26 @@
+"""Experiment harness: benchmark x technique sweeps and figure builders.
+
+* :mod:`repro.harness.experiment` -- the memoising runner plus the
+  normalised metrics every figure consumes (savings, performance,
+  wakeups, compensated residency).
+* :mod:`repro.harness.figures` -- one builder per paper figure,
+  returning printable rows/series (used by ``benchmarks/`` and the
+  examples).
+* :mod:`repro.harness.sweeps` -- parameter sweeps: idle-detect (Fig. 6),
+  break-even time and wakeup delay (Fig. 11).
+"""
+
+from repro.harness.experiment import (
+    ExperimentSettings,
+    ExperimentRunner,
+    normalized_performance,
+)
+from repro.harness import figures, sweeps
+
+__all__ = [
+    "ExperimentSettings",
+    "ExperimentRunner",
+    "normalized_performance",
+    "figures",
+    "sweeps",
+]

@@ -1,0 +1,144 @@
+"""Memoising experiment runner and the figures' normalised metrics.
+
+Every paper figure compares *the same trace* replayed under different
+techniques, so the runner keys its cache on (benchmark, technique,
+parameter overrides) and reuses results across figure builders — a full
+figure set touches the same ~110 runs many times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.core.adaptive import AdaptiveConfig
+from repro.core.techniques import (
+    PAPER_TECHNIQUES,
+    Technique,
+    TechniqueConfig,
+    run_benchmark,
+)
+from repro.isa.optypes import ExecUnitKind
+from repro.power.energy import domain_energy, EnergyBreakdown
+from repro.power.params import (
+    EnergyParams,
+    FP_DYN_PER_ISSUE,
+    GatingParams,
+    INT_DYN_PER_ISSUE,
+)
+from repro.sim.config import SMConfig
+from repro.sim.sm import SimResult
+from repro.workloads.specs import BENCHMARK_NAMES, INTEGER_ONLY_BENCHMARKS
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Global knobs shared by all runs of one experiment campaign.
+
+    Attributes:
+        seed: Trace-generation seed (identical across techniques).
+        scale: Workload scale factor; 1.0 reproduces the full models,
+            smaller values keep unit tests and pytest-benchmark runs
+            fast while preserving workload character.
+        gating: Power-gating parameters (idle-detect 5 / BET 14 /
+            wakeup 3 by default, the paper's configuration).
+        sm_config: Structural SM parameters.
+        benchmarks: Benchmarks in scope (default: the full suite).
+    """
+
+    seed: int = 0
+    scale: float = 1.0
+    gating: GatingParams = field(default_factory=GatingParams)
+    sm_config: SMConfig = field(default_factory=SMConfig)
+    benchmarks: Tuple[str, ...] = BENCHMARK_NAMES
+
+    def energy_params(self, kind: ExecUnitKind) -> EnergyParams:
+        """Energy model for one unit kind under these gating params."""
+        dyn = INT_DYN_PER_ISSUE if kind is ExecUnitKind.INT \
+            else FP_DYN_PER_ISSUE
+        return EnergyParams.for_unit(dyn_per_issue=dyn, bet=self.gating.bet)
+
+
+class ExperimentRunner:
+    """Runs and caches (benchmark, technique) simulations."""
+
+    def __init__(self, settings: ExperimentSettings = ExperimentSettings()):
+        self.settings = settings
+        self._cache: Dict[Tuple, SimResult] = {}
+
+    def run(self, benchmark: str, technique: Technique,
+            gating: Optional[GatingParams] = None,
+            adaptive: Optional[AdaptiveConfig] = None) -> SimResult:
+        """Run one configuration (memoised)."""
+        gating = gating or self.settings.gating
+        adaptive = adaptive or AdaptiveConfig()
+        key = (benchmark, technique, gating, adaptive,
+               self.settings.seed, self.settings.scale)
+        if key not in self._cache:
+            config = TechniqueConfig(technique=technique, gating=gating,
+                                     adaptive=adaptive)
+            self._cache[key] = run_benchmark(
+                benchmark, config, sm_config=self.settings.sm_config,
+                seed=self.settings.seed, scale=self.settings.scale)
+        return self._cache[key]
+
+    def baseline(self, benchmark: str) -> SimResult:
+        """The no-gating two-level reference run for one benchmark."""
+        return self.run(benchmark, Technique.BASELINE)
+
+    def suite(self, techniques: Sequence[Technique] = PAPER_TECHNIQUES,
+              ) -> Dict[Tuple[str, Technique], SimResult]:
+        """Run every benchmark under every requested technique."""
+        out: Dict[Tuple[str, Technique], SimResult] = {}
+        for name in self.settings.benchmarks:
+            for technique in techniques:
+                out[(name, technique)] = self.run(name, technique)
+        return out
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+
+    def static_savings(self, benchmark: str, technique: Technique,
+                       kind: ExecUnitKind,
+                       gating: Optional[GatingParams] = None) -> float:
+        """Figure 9 metric: net static energy saved vs no gating."""
+        gating = gating or self.settings.gating
+        result = self.run(benchmark, technique, gating=gating)
+        params = EnergyParams.for_unit(
+            dyn_per_issue=(INT_DYN_PER_ISSUE if kind is ExecUnitKind.INT
+                           else FP_DYN_PER_ISSUE),
+            bet=gating.bet)
+        return domain_energy(result.unit_activity(kind),
+                             params).static_savings
+
+    def energy_breakdown(self, benchmark: str, technique: Technique,
+                         kind: ExecUnitKind) -> EnergyBreakdown:
+        """Figure 1b metric: dynamic / overhead / static components."""
+        result = self.run(benchmark, technique)
+        return domain_energy(result.unit_activity(kind),
+                             self.settings.energy_params(kind))
+
+    def fp_benchmarks(self) -> Tuple[str, ...]:
+        """Benchmarks with FP activity (Figure 9b's population)."""
+        return tuple(b for b in self.settings.benchmarks
+                     if b not in INTEGER_ONLY_BENCHMARKS)
+
+
+def normalized_performance(baseline: SimResult, result: SimResult) -> float:
+    """Figure 10 metric: baseline cycles / technique cycles (1.0 = no
+    slowdown, below 1.0 = the technique lost performance)."""
+    if result.cycles == 0:
+        raise ValueError("degenerate run with zero cycles")
+    return baseline.cycles / result.cycles
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (Figure 10's summary statistic)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

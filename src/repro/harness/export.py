@@ -1,0 +1,58 @@
+"""Result export: figure rows to CSV / JSON.
+
+The figure builders return plain row lists; these helpers serialise them
+so downstream plotting (outside this offline environment) can regenerate
+the paper's actual charts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+Row = Sequence[object]
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Row],
+                path: Optional[Union[str, Path]] = None) -> str:
+    """Serialise figure rows as CSV; optionally write to ``path``."""
+    materialised = [list(row) for row in rows]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(materialised)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def rows_to_json(headers: Sequence[str], rows: Iterable[Row],
+                 path: Optional[Union[str, Path]] = None,
+                 figure: Optional[str] = None) -> str:
+    """Serialise figure rows as a JSON document of records."""
+    materialised = [list(row) for row in rows]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}")
+    records: List[dict] = [dict(zip(headers, row)) for row in materialised]
+    document = {"figure": figure, "headers": list(headers),
+                "records": records}
+    text = json.dumps(document, indent=2, sort_keys=False)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def load_json_rows(path: Union[str, Path]) -> List[dict]:
+    """Read back records written by :func:`rows_to_json`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return document["records"]

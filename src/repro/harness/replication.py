@@ -1,0 +1,116 @@
+"""Multi-seed replication: mean and spread for the headline metrics.
+
+The synthetic traces are random draws from each benchmark's statistical
+model, so any single-seed number carries sampling noise.  This module
+replays the headline experiment (static savings + normalised
+performance per technique) across several seeds and reports mean ±
+sample standard deviation — the honest way to quote the reproduction's
+numbers, and the basis for EXPERIMENTS.md's stability claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.core.techniques import PAPER_TECHNIQUES, Technique
+from repro.harness.experiment import (
+    ExperimentRunner,
+    ExperimentSettings,
+    geomean,
+    normalized_performance,
+)
+from repro.isa.optypes import ExecUnitKind
+
+
+@dataclass(frozen=True)
+class MetricEstimate:
+    """Mean and spread of one metric over replicated seeds."""
+
+    mean: float
+    stdev: float
+    n: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} +/- {self.stdev:.3f} (n={self.n})"
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Suite-level metrics of one technique across seeds."""
+
+    technique: Technique
+    int_savings: MetricEstimate
+    fp_savings: MetricEstimate
+    performance: MetricEstimate
+
+
+def _estimate(samples: Sequence[float]) -> MetricEstimate:
+    n = len(samples)
+    if n == 0:
+        return MetricEstimate(0.0, 0.0, 0)
+    mean = sum(samples) / n
+    if n == 1:
+        return MetricEstimate(mean, 0.0, 1)
+    var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    return MetricEstimate(mean, math.sqrt(var), n)
+
+
+def replicate(settings: ExperimentSettings,
+              seeds: Sequence[int] = (0, 1, 2),
+              techniques: Sequence[Technique] = PAPER_TECHNIQUES,
+              ) -> List[ReplicatedResult]:
+    """Run the headline experiment once per seed and aggregate.
+
+    Each seed gets its own runner (fresh traces throughout); within a
+    seed the usual identical-trace comparison across techniques holds.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_technique: Dict[Technique, Dict[str, List[float]]] = {
+        t: {"int": [], "fp": [], "perf": []} for t in techniques}
+    for seed in seeds:
+        runner = ExperimentRunner(replace(settings, seed=seed))
+        for technique in techniques:
+            int_vals, fp_vals, perf_vals = [], [], []
+            for name in runner.settings.benchmarks:
+                base = runner.baseline(name)
+                result = runner.run(name, technique)
+                int_vals.append(runner.static_savings(
+                    name, technique, ExecUnitKind.INT))
+                if name in runner.fp_benchmarks():
+                    fp_vals.append(runner.static_savings(
+                        name, technique, ExecUnitKind.FP))
+                perf_vals.append(normalized_performance(base, result))
+            bucket = per_technique[technique]
+            bucket["int"].append(sum(int_vals) / len(int_vals))
+            bucket["fp"].append(sum(fp_vals) / len(fp_vals)
+                                if fp_vals else 0.0)
+            bucket["perf"].append(geomean(perf_vals))
+    return [
+        ReplicatedResult(
+            technique=technique,
+            int_savings=_estimate(per_technique[technique]["int"]),
+            fp_savings=_estimate(per_technique[technique]["fp"]),
+            performance=_estimate(per_technique[technique]["perf"]))
+        for technique in techniques
+    ]
+
+
+def replication_rows(results: Sequence[ReplicatedResult],
+                     ) -> List[List[object]]:
+    """Tabular form (one row per technique)."""
+    rows: List[List[object]] = []
+    for result in results:
+        rows.append([
+            result.technique.value,
+            result.int_savings.mean, result.int_savings.stdev,
+            result.fp_savings.mean, result.fp_savings.stdev,
+            result.performance.mean, result.performance.stdev,
+        ])
+    return rows
+
+
+REPLICATION_HEADERS = ("technique", "int_mean", "int_sd", "fp_mean",
+                       "fp_sd", "perf_mean", "perf_sd")

@@ -1,0 +1,149 @@
+"""Parameter sweeps: Figure 6 (idle-detect) and Figure 11 (BET, wakeup).
+
+* :func:`idle_detect_sweep` replays every benchmark under GATES +
+  Blackout across static idle-detect values 0..10 and records runtime
+  and critical wakeups — the raw data behind Figure 6's correlation
+  scatter.
+* :func:`bet_sweep` / :func:`wakeup_sweep` compare conventional power
+  gating against Warped Gates across break-even times {9, 14, 19} and
+  wakeup delays {3, 6, 9}, reporting suite-average INT/FP savings and
+  geomean performance (Figure 11a / 11b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+from repro.analysis.correlation import (
+    critical_wakeups_per_kilocycle,
+    pearson_r,
+)
+from repro.core.techniques import Technique
+from repro.harness.experiment import (
+    ExperimentRunner,
+    geomean,
+    normalized_performance,
+)
+from repro.isa.optypes import ExecUnitKind
+from repro.power.params import GatingParams
+
+#: Paper sweep points (section 7.6; BET values from Hu et al.).
+BET_VALUES: Tuple[int, ...] = (9, 14, 19)
+WAKEUP_VALUES: Tuple[int, ...] = (3, 6, 9)
+IDLE_DETECT_VALUES: Tuple[int, ...] = tuple(range(0, 11))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, technique) cell of a Figure 11 panel."""
+
+    value: int
+    technique: Technique
+    int_savings: float
+    fp_savings: float
+    performance: float
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Figure 6 outcome for one benchmark."""
+
+    benchmark: str
+    pearson: float
+    #: (critical wakeups per kilocycle, normalised runtime) per
+    #: idle-detect value.
+    points: Tuple[Tuple[float, float], ...]
+
+
+def idle_detect_sweep(runner: ExperimentRunner,
+                      values: Sequence[int] = IDLE_DETECT_VALUES,
+                      technique: Technique = Technique.NAIVE_BLACKOUT,
+                      ) -> List[CorrelationResult]:
+    """Figure 6: correlate critical wakeups with runtime per benchmark.
+
+    Runtime is normalised to the no-gating baseline (values above 1.0
+    mean Blackout slowed the benchmark down), matching the paper's
+    y-axis.  The returned Pearson r reproduces the per-benchmark legend
+    annotations.
+    """
+    results: List[CorrelationResult] = []
+    for name in runner.settings.benchmarks:
+        base_cycles = runner.baseline(name).cycles
+        xs: List[float] = []
+        ys: List[float] = []
+        for idle_detect in values:
+            gating = replace(runner.settings.gating,
+                             idle_detect=idle_detect)
+            result = runner.run(name, technique, gating=gating)
+            critical = (result.gating_totals(ExecUnitKind.INT)
+                        .critical_wakeups
+                        + result.gating_totals(ExecUnitKind.FP)
+                        .critical_wakeups)
+            xs.append(critical_wakeups_per_kilocycle(critical,
+                                                     result.cycles))
+            ys.append(result.cycles / base_cycles)
+        results.append(CorrelationResult(
+            benchmark=name, pearson=pearson_r(xs, ys),
+            points=tuple(zip(xs, ys))))
+    results.sort(key=lambda r: -r.pearson)
+    return results
+
+
+def _suite_point(runner: ExperimentRunner, technique: Technique,
+                 gating: GatingParams, value: int) -> SweepPoint:
+    int_savings: List[float] = []
+    fp_savings: List[float] = []
+    perf: List[float] = []
+    for name in runner.settings.benchmarks:
+        base = runner.baseline(name)
+        result = runner.run(name, technique, gating=gating)
+        int_savings.append(runner.static_savings(
+            name, technique, ExecUnitKind.INT, gating=gating))
+        if name in runner.fp_benchmarks():
+            fp_savings.append(runner.static_savings(
+                name, technique, ExecUnitKind.FP, gating=gating))
+        perf.append(normalized_performance(base, result))
+    return SweepPoint(
+        value=value, technique=technique,
+        int_savings=sum(int_savings) / len(int_savings),
+        fp_savings=sum(fp_savings) / len(fp_savings) if fp_savings else 0.0,
+        performance=geomean(perf))
+
+
+def bet_sweep(runner: ExperimentRunner,
+              values: Sequence[int] = BET_VALUES,
+              techniques: Sequence[Technique] = (
+                  Technique.CONV_PG, Technique.WARPED_GATES),
+              ) -> List[SweepPoint]:
+    """Figure 11a: sensitivity to the break-even time."""
+    points: List[SweepPoint] = []
+    for bet in values:
+        gating = replace(runner.settings.gating, bet=bet)
+        for technique in techniques:
+            points.append(_suite_point(runner, technique, gating, bet))
+    return points
+
+
+def wakeup_sweep(runner: ExperimentRunner,
+                 values: Sequence[int] = WAKEUP_VALUES,
+                 techniques: Sequence[Technique] = (
+                     Technique.CONV_PG, Technique.WARPED_GATES),
+                 ) -> List[SweepPoint]:
+    """Figure 11b: sensitivity to the wakeup delay."""
+    points: List[SweepPoint] = []
+    for wakeup in values:
+        gating = replace(runner.settings.gating, wakeup_delay=wakeup)
+        for technique in techniques:
+            points.append(_suite_point(runner, technique, gating, wakeup))
+    return points
+
+
+def sweep_rows(points: Sequence[SweepPoint]) -> List[List[object]]:
+    """Tabular form of a Figure 11 panel."""
+    return [[p.value, p.technique.value, p.int_savings, p.fp_savings,
+             p.performance] for p in points]
+
+
+SWEEP_HEADERS = ("value", "technique", "int_savings", "fp_savings",
+                 "performance")

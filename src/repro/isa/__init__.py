@@ -1,0 +1,34 @@
+"""Instruction-set substrate for the Warped Gates reproduction.
+
+This package defines the trace representation consumed by the cycle-level
+SM model in :mod:`repro.sim`:
+
+* :mod:`repro.isa.optypes` -- operation classes (INT / FP / SFU / LDST) and
+  the execution-unit kinds they map onto.
+* :mod:`repro.isa.instructions` -- the static instruction record.
+* :mod:`repro.isa.trace` -- per-warp instruction traces and kernel traces.
+* :mod:`repro.isa.tracegen` -- seeded synthetic trace generation from a
+  statistical workload description.
+
+The paper drives GPGPU-Sim with real CUDA binaries; we substitute seeded
+synthetic traces whose statistical properties (instruction mix, dependency
+structure, memory behaviour) match what the paper reports per benchmark
+(see DESIGN.md section 2).
+"""
+
+from repro.isa.optypes import OpClass, ExecUnitKind, UNIT_FOR_OP_CLASS
+from repro.isa.instructions import Instruction, MemorySpace
+from repro.isa.trace import WarpTrace, KernelTrace
+from repro.isa.tracegen import TraceGenerator, TraceSpec
+
+__all__ = [
+    "OpClass",
+    "ExecUnitKind",
+    "UNIT_FOR_OP_CLASS",
+    "Instruction",
+    "MemorySpace",
+    "WarpTrace",
+    "KernelTrace",
+    "TraceGenerator",
+    "TraceSpec",
+]

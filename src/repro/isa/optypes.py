@@ -1,0 +1,75 @@
+"""Operation classes and execution-unit kinds.
+
+The paper partitions every decoded instruction into one of four types, each
+served by a dedicated execution resource inside the SM (section 2.1):
+
+* ``INT``  -- integer pipeline of a CUDA core (SP cluster).
+* ``FP``   -- floating-point pipeline of a CUDA core (SP cluster).
+* ``SFU``  -- special-function unit (sin, cos, rsqrt, ...).
+* ``LDST`` -- load/store unit for all memory operations.
+
+The two-bit instruction-type field GATES adds to each active-warp entry
+(section 4.1) encodes exactly this enumeration, which is why ``OpClass``
+values fit in two bits.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Instruction type, as encoded by the decoder's two-bit type field."""
+
+    INT = 0
+    FP = 1
+    SFU = 2
+    LDST = 3
+
+    @property
+    def short_name(self) -> str:
+        """Lower-case mnemonic used in reports and figure labels."""
+        return _SHORT_NAMES[self]
+
+
+_SHORT_NAMES = {
+    OpClass.INT: "int",
+    OpClass.FP: "fp",
+    OpClass.SFU: "sfu",
+    OpClass.LDST: "ldst",
+}
+
+
+class ExecUnitKind(enum.IntEnum):
+    """Kind of execution resource inside an SM.
+
+    INT and FP are distinct power-gating domains even though both live in
+    the same physical SP cluster: each CUDA core contains one integer and
+    one floating-point pipeline and the paper gates them independently
+    (section 3: "we will focus on leakage energy saving for CUDA cores,
+    comprising of INT and FP units").
+    """
+
+    INT = 0
+    FP = 1
+    SFU = 2
+    LDST = 3
+
+
+#: Execution-unit kind required by each operation class.  The mapping is
+#: one-to-one in this microarchitecture but is kept explicit so the model
+#: could express, e.g., FP-capable SFUs without touching scheduler code.
+UNIT_FOR_OP_CLASS = {
+    OpClass.INT: ExecUnitKind.INT,
+    OpClass.FP: ExecUnitKind.FP,
+    OpClass.SFU: ExecUnitKind.SFU,
+    OpClass.LDST: ExecUnitKind.LDST,
+}
+
+#: Operation classes handled by the CUDA-core (SP) clusters, i.e. the
+#: targets of Blackout power gating in the paper.
+CUDA_CORE_CLASSES = (OpClass.INT, OpClass.FP)
+
+#: All operation classes, in the fixed middle-priority order the paper uses
+#: between the INT/FP extremes (LDST above SFU, section 4.1).
+ALL_OP_CLASSES = (OpClass.INT, OpClass.FP, OpClass.SFU, OpClass.LDST)

@@ -1,0 +1,245 @@
+"""Per-domain power-gating state machine.
+
+Implements the controller of Figure 2c.  One :class:`GatingDomain`
+manages one gating switch — on our Fermi-like SM that means one per SP
+cluster pipeline (INT0, INT1, FP0, FP1), mirroring the paper's "all 16
+integer units within a cluster are operated by a single power gating
+switch".
+
+States (derived lazily from timestamps, so no per-cycle bookkeeping of
+state labels is needed):
+
+* ``ON`` — powered; the idle-detect counter runs while the pipeline is
+  idle.
+* ``GATED`` — sleeping.  The window is *uncompensated* until the gated
+  length reaches the break-even time (BET), *compensated* beyond it.
+* ``WAKING`` — the sleep switch re-opened; ``wakeup_delay`` cycles of
+  leakage with no useful work before the domain is ON again.
+
+The *policy* object decides (a) when an idle domain may gate and (b)
+whether a wakeup request may be honoured — that's the entire difference
+between conventional power gating and the paper's Blackout variants, so
+the Blackout/Coordinated controllers in :mod:`repro.core.blackout` are
+just policies plugged into this machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.power.params import GatingParams
+
+
+class DomainState(enum.Enum):
+    """Observable power state of a gating domain."""
+
+    ON = "on"
+    GATED = "gated"
+    WAKING = "waking"
+
+
+@dataclass
+class GatingStats:
+    """Lifetime counters for one gating domain.
+
+    ``compensated_cycles`` / ``uncompensated_cycles`` split every gated
+    window at the BET boundary — the quantities behind Figure 8b.  A
+    *critical wakeup* (Figure 6 / Adaptive idle-detect) is a wakeup
+    granted at the exact cycle a blackout period expires, i.e. an
+    instruction was already waiting when the BET countdown hit zero.
+    """
+
+    gating_events: int = 0
+    wakeups: int = 0
+    wakeups_uncompensated: int = 0
+    critical_wakeups: int = 0
+    gated_cycles: int = 0
+    compensated_cycles: int = 0
+    uncompensated_cycles: int = 0
+    waking_cycles: int = 0
+    on_cycles: int = 0
+    denied_wakeups: int = 0
+
+
+class GatingPolicy:
+    """Decision hooks that differentiate gating schemes."""
+
+    name = "none"
+
+    def want_gate(self, domain: "GatingDomain", cycle: int) -> bool:
+        """Should ``domain`` (idle this cycle) close its gate now?"""
+        raise NotImplementedError
+
+    def may_wake(self, domain: "GatingDomain", cycle: int) -> bool:
+        """May a wakeup request on a gated ``domain`` be honoured now?"""
+        raise NotImplementedError
+
+
+class ConventionalPolicy(GatingPolicy):
+    """Hu et al. [13]: gate after idle-detect, wake on demand.
+
+    The wakeup may arrive before break-even, producing a net energy
+    *loss* for that window — the weakness Blackout removes.
+    """
+
+    name = "conventional"
+
+    def want_gate(self, domain: "GatingDomain", cycle: int) -> bool:
+        return domain.idle_counter >= domain.idle_detect
+
+    def may_wake(self, domain: "GatingDomain", cycle: int) -> bool:
+        return True
+
+
+class GatingDomain:
+    """One power-gated unit cluster and its controller."""
+
+    def __init__(self, name: str, params: GatingParams,
+                 policy: GatingPolicy) -> None:
+        self.name = name
+        self.params = params
+        self.policy = policy
+        #: Current idle-detect window; Adaptive idle-detect mutates this
+        #: at epoch boundaries (the paper's incrementable register).
+        self.idle_detect = params.idle_detect
+        self.bet = params.bet
+        self.wakeup_delay = params.wakeup_delay
+        self.idle_counter = 0
+        self.stats = GatingStats()
+        self._gated_since: Optional[int] = None
+        self._wake_done = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+
+    def state(self, cycle: int) -> DomainState:
+        """Power state at ``cycle``."""
+        if self._gated_since is not None and cycle >= self._gated_since:
+            return DomainState.GATED
+        if cycle < self._wake_done:
+            return DomainState.WAKING
+        return DomainState.ON
+
+    def available_for_issue(self, cycle: int) -> bool:
+        """True when an instruction could execute here this cycle."""
+        return self.state(cycle) is DomainState.ON and self._gated_since is None
+
+    def is_gated(self, cycle: int) -> bool:
+        """True when the gate is closed (or closing this cycle)."""
+        return self._gated_since is not None
+
+    def gated_length(self, cycle: int) -> int:
+        """Completed gated cycles of the current window (0 if not gated)."""
+        if self._gated_since is None:
+            return 0
+        return max(0, cycle - self._gated_since)
+
+    def in_blackout(self, cycle: int) -> bool:
+        """Gated and not yet past break-even: un-wakeable under Blackout."""
+        return (self._gated_since is not None
+                and self.gated_length(cycle) < self.bet)
+
+    def blackout_remaining(self, cycle: int) -> int:
+        """Cycles left on the BET countdown (0 when wakeable or ON)."""
+        if self._gated_since is None:
+            return 0
+        return max(0, self.bet - self.gated_length(cycle))
+
+    # ------------------------------------------------------------------
+    # scheduler-facing actions
+    # ------------------------------------------------------------------
+
+    def request_wakeup(self, cycle: int) -> bool:
+        """A ready instruction wants this unit.
+
+        Returns True when the unit is usable *this* cycle.  When gated
+        and the policy allows, the wake starts now and the unit becomes
+        usable after ``wakeup_delay`` cycles.  During blackout the
+        request is denied (and counted — denied requests landing on the
+        expiry cycle are what make a wakeup *critical*).
+        """
+        state = self.state(cycle)
+        if state is DomainState.ON and self._gated_since is None:
+            return True
+        if state is DomainState.WAKING:
+            return False
+        if not self.policy.may_wake(self, cycle):
+            self.stats.denied_wakeups += 1
+            return False
+        self._wake(cycle)
+        return False
+
+    def _wake(self, cycle: int) -> None:
+        assert self._gated_since is not None
+        gated_len = self.gated_length(cycle)
+        self.stats.wakeups += 1
+        self.stats.gated_cycles += gated_len
+        self.stats.uncompensated_cycles += min(gated_len, self.bet)
+        self.stats.compensated_cycles += max(0, gated_len - self.bet)
+        if gated_len < self.bet:
+            self.stats.wakeups_uncompensated += 1
+        if gated_len == self.bet:
+            self.stats.critical_wakeups += 1
+        self._gated_since = None
+        self._wake_done = cycle + self.wakeup_delay
+        self.idle_counter = 0
+
+    # ------------------------------------------------------------------
+    # per-cycle update (after issue, once pipeline occupancy is known)
+    # ------------------------------------------------------------------
+
+    def observe(self, cycle: int, pipeline_busy: bool) -> None:
+        """End-of-cycle controller update.
+
+        ``pipeline_busy`` must be False whenever the domain is gated —
+        the SM never lets work into a gated pipeline, and gating is only
+        triggered from this method, which sees the pipeline idle.
+        """
+        state = self.state(cycle)
+        if state is DomainState.GATED:
+            if pipeline_busy:
+                raise RuntimeError(
+                    f"{self.name}: pipeline busy while gated at {cycle}")
+            return
+        if state is DomainState.WAKING:
+            self.stats.waking_cycles += 1
+            return
+        self.stats.on_cycles += 1
+        if pipeline_busy:
+            self.idle_counter = 0
+            return
+        self.idle_counter += 1
+        if self.policy.want_gate(self, cycle):
+            self._gate(cycle)
+
+    def _gate(self, cycle: int) -> None:
+        # The switch closes at the end of this cycle; savings accrue
+        # from the next cycle on.
+        self._gated_since = cycle + 1
+        self.stats.gating_events += 1
+        self.idle_counter = 0
+
+    # ------------------------------------------------------------------
+    # end of run
+    # ------------------------------------------------------------------
+
+    def finalize(self, end_cycle: int) -> None:
+        """Close the books on a window still gated when the run ends."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if self._gated_since is None:
+            return
+        gated_len = max(0, end_cycle - self._gated_since)
+        self.stats.gated_cycles += gated_len
+        self.stats.uncompensated_cycles += min(gated_len, self.bet)
+        self.stats.compensated_cycles += max(0, gated_len - self.bet)
+        self._gated_since = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GatingDomain({self.name}, policy={self.policy.name}, "
+                f"idle_detect={self.idle_detect})")

@@ -1,0 +1,32 @@
+"""Cycle-level GPGPU streaming-multiprocessor substrate.
+
+This package is the stand-in for GPGPU-Sim v3.02: a trace-driven,
+cycle-level model of a Fermi (GTX480-class) SM with
+
+* a fetch/decode front end feeding per-warp instruction buffers
+  (:mod:`repro.sim.frontend`),
+* a per-warp register scoreboard (:mod:`repro.sim.scoreboard`),
+* a two-level warp scheduler issue stage (:mod:`repro.sim.sched`),
+* SP clusters (INT + FP pipelines), SFU and LDST groups
+  (:mod:`repro.sim.exec_units`),
+* an L1 cache / MSHR / DRAM-latency memory model
+  (:mod:`repro.sim.memory`),
+* per-domain power-gating hooks and statistics
+  (:mod:`repro.sim.stats`, :mod:`repro.power`).
+
+The top-level entry points are :class:`repro.sim.sm.StreamingMultiprocessor`
+for a single SM and :class:`repro.sim.gpu.GPU` for a multi-SM device.
+"""
+
+from repro.sim.config import SMConfig, MemoryConfig
+from repro.sim.sm import StreamingMultiprocessor, SimResult
+from repro.sim.gpu import GPU, GPUResult
+
+__all__ = [
+    "SMConfig",
+    "MemoryConfig",
+    "StreamingMultiprocessor",
+    "SimResult",
+    "GPU",
+    "GPUResult",
+]

@@ -1,0 +1,130 @@
+"""Execution-unit pipelines.
+
+Each :class:`ExecPipeline` models one dispatch port plus the instructions
+in flight behind it:
+
+* An **SP cluster pipeline** (INT or FP) has initiation interval 1 — its
+  16 double-clocked CUDA cores accept one 32-thread warp instruction per
+  issue cycle — and a 4-cycle result latency (GPGPU-Sim Fermi default
+  quoted in section 3.1 of the paper).
+* The **SFU group** (4 units) occupies its port for 8 cycles per warp.
+* The **LDST group** (16 units) occupies its port for 2 cycles per warp;
+  leaving the LDST pipeline hands the access to the memory model.
+
+A pipeline is *busy* while any instruction is in flight or its port is
+held; power gating is only legal when a pipeline is completely drained,
+and the SM enforces that before asking a controller to gate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.optypes import ExecUnitKind
+
+
+@dataclass(frozen=True)
+class Completion:
+    """An instruction leaving a pipeline this cycle."""
+
+    warp_slot: int
+    inst: Instruction
+
+
+class ExecPipeline:
+    """One execution pipeline with a single dispatch port.
+
+    Attributes:
+        kind: Unit kind (INT / FP / SFU / LDST).
+        name: Human-readable identity, e.g. ``"INT0"`` for the integer
+            pipeline of SP cluster 0.
+        initiation_interval: Cycles the dispatch port is held per
+            instruction.
+    """
+
+    def __init__(self, kind: ExecUnitKind, name: str,
+                 initiation_interval: int = 1) -> None:
+        if initiation_interval < 1:
+            raise ValueError("initiation_interval must be >= 1")
+        self.kind = kind
+        self.name = name
+        self.initiation_interval = initiation_interval
+        self._port_free_at = 0
+        # Min-heap of (finish_cycle, seq, completion) to drain in order.
+        self._in_flight: List[Tuple[int, int, Completion]] = []
+        self._seq = 0
+        self.issued_count = 0
+        #: Accumulated active-lane fractions of issued instructions; the
+        #: dynamic-energy weight of this pipeline's work (a fully
+        #: converged instruction contributes 1.0, an 8-lane one 0.25).
+        self.lane_work = 0.0
+
+    # ------------------------------------------------------------------
+    # issue side
+    # ------------------------------------------------------------------
+
+    def port_available(self, cycle: int) -> bool:
+        """True when the dispatch port can accept an instruction."""
+        return cycle >= self._port_free_at
+
+    def issue(self, cycle: int, warp_slot: int, inst: Instruction,
+              extra_hold: int = 0) -> int:
+        """Dispatch ``inst``; returns its pipeline-exit cycle.
+
+        ``extra_hold`` lengthens the port occupancy and result latency
+        by structural stalls outside the pipeline itself (register-file
+        bank conflicts from the operand collector).
+
+        Raises:
+            RuntimeError: if the port is still held (caller must check
+                :meth:`port_available` first — issuing into a held port
+                would silently break the structural-hazard model).
+        """
+        if not self.port_available(cycle):
+            raise RuntimeError(
+                f"{self.name}: port busy until {self._port_free_at}, "
+                f"issue attempted at {cycle}")
+        if extra_hold < 0:
+            raise ValueError("extra_hold must be >= 0")
+        self._port_free_at = cycle + self.initiation_interval + extra_hold
+        finish = cycle + inst.latency + extra_hold
+        heapq.heappush(self._in_flight,
+                       (finish, self._seq, Completion(warp_slot, inst)))
+        self._seq += 1
+        self.issued_count += 1
+        self.lane_work += inst.lane_fraction
+        return finish
+
+    # ------------------------------------------------------------------
+    # completion side
+    # ------------------------------------------------------------------
+
+    def drain(self, cycle: int) -> List[Completion]:
+        """Pop every instruction whose exit cycle has arrived."""
+        done: List[Completion] = []
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            done.append(heapq.heappop(self._in_flight)[2])
+        return done
+
+    # ------------------------------------------------------------------
+    # occupancy
+    # ------------------------------------------------------------------
+
+    def is_busy(self, cycle: int) -> bool:
+        """True while the pipeline holds work (port held or in flight)."""
+        return bool(self._in_flight) or cycle < self._port_free_at
+
+    def in_flight_count(self) -> int:
+        """Number of instructions currently in the pipeline."""
+        return len(self._in_flight)
+
+    def next_completion_cycle(self) -> Optional[int]:
+        """Exit cycle of the oldest in-flight instruction, if any."""
+        return self._in_flight[0][0] if self._in_flight else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ExecPipeline({self.name}, ii={self.initiation_interval}, "
+                f"in_flight={len(self._in_flight)})")

@@ -1,0 +1,236 @@
+"""Front end: resident-warp contexts, instruction buffers and fetch.
+
+Mirrors the fetch/decode stage of Figure 1a: decoded instructions land in
+a small per-warp instruction buffer (I-buffer) whose head is the entry
+the issue stage sees, carrying the valid bit, decoded bits — including
+the two-bit instruction type GATES relies on — and the ready bit driven
+by the scoreboard.
+
+Warp launch is also handled here: a kernel may launch more warps than the
+SM can host (48 on Fermi); finished warp slots are refilled from the
+launch queue, the way successive thread blocks refill a real SM.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.trace import KernelTrace, WarpTrace
+from repro.sim.scoreboard import Scoreboard
+
+
+class WarpContext:
+    """Runtime state of one resident warp slot."""
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.trace: Optional[WarpTrace] = None
+        self.fetch_pc = 0            # next trace index to fetch
+        self.ibuffer: Deque[Instruction] = deque()
+        self.scoreboard = Scoreboard()
+        self.retired = 0
+        #: Instructions issued but not yet fully completed (pipeline or
+        #: memory); a slot is only recycled when this drains to zero.
+        self.outstanding = 0
+
+    # ------------------------------------------------------------------
+
+    def assign(self, trace: WarpTrace) -> None:
+        """Occupy this slot with a freshly launched warp."""
+        self.trace = trace
+        self.fetch_pc = 0
+        self.ibuffer.clear()
+        self.scoreboard.reset()
+        self.retired = 0
+        self.outstanding = 0
+
+    @property
+    def occupied(self) -> bool:
+        """True while a warp lives in this slot."""
+        return self.trace is not None
+
+    @property
+    def trace_exhausted(self) -> bool:
+        """True once every instruction of the warp has been fetched."""
+        return self.trace is None or self.fetch_pc >= len(self.trace)
+
+    def finished(self) -> bool:
+        """True once every instruction has issued and completed."""
+        return (self.occupied and self.trace_exhausted
+                and not self.ibuffer and self.outstanding == 0)
+
+    def head(self) -> Optional[Instruction]:
+        """The instruction the issue stage considers for this warp."""
+        return self.ibuffer[0] if self.ibuffer else None
+
+    def pop_head(self) -> Instruction:
+        """Remove the head instruction at issue."""
+        return self.ibuffer.popleft()
+
+    def release(self) -> None:
+        """Free the slot after the warp fully completes."""
+        self.trace = None
+        self.ibuffer.clear()
+        self.scoreboard.reset()
+        self.outstanding = 0
+
+
+class FetchEngine:
+    """Round-robin fetch/decode feeding the per-warp I-buffers."""
+
+    def __init__(self, fetch_width: int, ibuffer_entries: int) -> None:
+        if fetch_width < 1:
+            raise ValueError("fetch_width must be >= 1")
+        if ibuffer_entries < 1:
+            raise ValueError("ibuffer_entries must be >= 1")
+        self.fetch_width = fetch_width
+        self.ibuffer_entries = ibuffer_entries
+        self._rr_start = 0
+
+    def tick(self, warps: List[WarpContext]) -> int:
+        """Fetch up to ``fetch_width`` instructions into needy buffers.
+
+        Round-robins across warp slots so no warp starves the front end.
+        Returns the number of instructions fetched (statistics).
+        """
+        fetched = 0
+        n = len(warps)
+        if n == 0:
+            return 0
+        for offset in range(n):
+            if fetched >= self.fetch_width:
+                break
+            warp = warps[(self._rr_start + offset) % n]
+            if not warp.occupied or warp.trace_exhausted:
+                continue
+            while (fetched < self.fetch_width
+                   and len(warp.ibuffer) < self.ibuffer_entries
+                   and not warp.trace_exhausted):
+                assert warp.trace is not None
+                warp.ibuffer.append(warp.trace[warp.fetch_pc])
+                warp.fetch_pc += 1
+                fetched += 1
+        self._rr_start = (self._rr_start + 1) % n
+        return fetched
+
+
+class WarpLauncher:
+    """Feeds kernel warps into SM slots as residency frees up."""
+
+    def __init__(self, kernel: KernelTrace, max_resident: int) -> None:
+        self.kernel = kernel
+        self.max_resident = min(max_resident, kernel.max_resident_warps)
+        self._next = 0
+
+    @property
+    def remaining(self) -> int:
+        """Warps not yet launched."""
+        return self.kernel.n_warps - self._next
+
+    def pop_next(self, cycle: int = 0,
+                 resident: int = 0) -> Optional[WarpTrace]:
+        """Take the next queued warp trace, or None when exhausted.
+
+        ``cycle`` and ``resident`` are accepted (and ignored) so the
+        single-kernel launcher is interface-compatible with
+        :class:`MultiKernelLauncher`, whose launch decisions depend on
+        both.
+        """
+        if self._next >= self.kernel.n_warps:
+            return None
+        trace = self.kernel.warps[self._next]
+        self._next += 1
+        return trace
+
+    def launch_into(self, warps: List[WarpContext]) -> int:
+        """Fill free slots (up to the residency cap) with queued warps."""
+        launched = 0
+        resident = sum(1 for w in warps if w.occupied)
+        for warp in warps:
+            if self._next >= self.kernel.n_warps:
+                break
+            if resident >= self.max_resident:
+                break
+            if not warp.occupied:
+                warp.assign(self.kernel.warps[self._next])
+                self._next += 1
+                resident += 1
+                launched += 1
+        return launched
+
+
+class MultiKernelLauncher:
+    """Back-to-back kernel launches with barriers and idle gaps.
+
+    Real GPGPU applications launch kernels in sequence: kernel ``k+1``
+    cannot start until every thread block of kernel ``k`` has retired
+    (a device-level barrier), and host-side work often leaves the SM
+    idle for a while in between.  Those inter-kernel windows are where
+    *SM-granular* power gating (Wang et al., the paper's section 8
+    comparison) earns its keep, so modelling them lets the granularity
+    analysis cover both regimes.
+
+    Interface-compatible with :class:`WarpLauncher` as the SM uses it:
+    ``remaining`` plus ``pop_next(cycle, resident)``.
+    """
+
+    def __init__(self, kernels: "List[KernelTrace]", max_resident: int,
+                 gap_cycles: int = 0) -> None:
+        if not kernels:
+            raise ValueError("need at least one kernel")
+        if gap_cycles < 0:
+            raise ValueError("gap_cycles must be >= 0")
+        self.kernels = list(kernels)
+        self.max_resident_cap = max_resident
+        self.gap_cycles = gap_cycles
+        self._index = 0
+        self._inner = WarpLauncher(self.kernels[0], max_resident)
+        self._gap_until: Optional[int] = None
+        #: Cycles at which each kernel's first warp launched (stats).
+        self.kernel_start_cycles: List[int] = []
+
+    @property
+    def max_resident(self) -> int:
+        """Residency cap applied to the current kernel."""
+        return self._inner.max_resident
+
+    @property
+    def remaining(self) -> int:
+        """Warps not yet launched, across all queued kernels."""
+        later = sum(k.n_warps for k in self.kernels[self._index + 1:])
+        return self._inner.remaining + later
+
+    @property
+    def current_kernel_index(self) -> int:
+        """Index of the kernel currently launching."""
+        return self._index
+
+    def pop_next(self, cycle: int = 0,
+                 resident: int = 0) -> Optional[WarpTrace]:
+        """Next warp to launch at ``cycle``, or None.
+
+        Returns None while (a) the current kernel is fully launched but
+        its warps still occupy slots (the barrier), or (b) the
+        inter-kernel gap has not elapsed.
+        """
+        if self._inner.remaining:
+            if not self.kernel_start_cycles or \
+                    self._inner.remaining == self.kernels[self._index].n_warps:
+                if len(self.kernel_start_cycles) <= self._index:
+                    self.kernel_start_cycles.append(cycle)
+            return self._inner.pop_next()
+        if self._index + 1 >= len(self.kernels):
+            return None
+        if resident > 0:
+            return None  # barrier: previous kernel still draining
+        if self._gap_until is None:
+            self._gap_until = cycle + self.gap_cycles
+        if cycle < self._gap_until:
+            return None
+        self._index += 1
+        self._inner = WarpLauncher(self.kernels[self._index],
+                                   self.max_resident_cap)
+        self._gap_until = None
+        return self.pop_next(cycle, resident)

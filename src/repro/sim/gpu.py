@@ -1,0 +1,100 @@
+"""Multi-SM GPU wrapper.
+
+GTX480 has 15 SMs; the paper's per-unit statistics are per-SM and the
+SMs run independent thread blocks.  :class:`GPU` distributes a kernel's
+warps round-robin over N SMs (block-level work distribution), runs each
+SM independently, and aggregates results.  There is deliberately no
+shared-L2/DRAM-contention model: the paper's effects live inside the SM,
+and DESIGN.md records this simplification.
+
+Building an SM per technique is the caller's job (the harness passes an
+``sm_factory``), so the GPU wrapper stays technique-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.isa.optypes import ExecUnitKind
+from repro.isa.trace import KernelTrace, WarpTrace
+from repro.power.energy import DomainEnergy
+from repro.sim.sm import SimResult, StreamingMultiprocessor
+
+SMFactory = Callable[[KernelTrace], StreamingMultiprocessor]
+
+
+def split_kernel(kernel: KernelTrace, n_sms: int) -> List[KernelTrace]:
+    """Distribute a kernel's warps round-robin over ``n_sms`` SMs.
+
+    SMs with no warps are dropped (a tiny kernel may not fill the GPU).
+    """
+    if n_sms < 1:
+        raise ValueError("n_sms must be >= 1")
+    buckets: List[List[WarpTrace]] = [[] for _ in range(n_sms)]
+    for i, warp in enumerate(kernel.warps):
+        buckets[i % n_sms].append(warp)
+    parts: List[KernelTrace] = []
+    for sm_id, bucket in enumerate(buckets):
+        if not bucket:
+            continue
+        renumbered = [WarpTrace(warp_id=j, instructions=w.instructions)
+                      for j, w in enumerate(bucket)]
+        parts.append(KernelTrace(
+            name=f"{kernel.name}#sm{sm_id}", warps=renumbered,
+            max_resident_warps=kernel.max_resident_warps))
+    return parts
+
+
+@dataclass
+class GPUResult:
+    """Aggregated multi-SM run results."""
+
+    kernel_name: str
+    technique: str
+    sm_results: Tuple[SimResult, ...]
+
+    @property
+    def cycles(self) -> int:
+        """Device runtime: the slowest SM bounds the kernel."""
+        return max(r.cycles for r in self.sm_results)
+
+    @property
+    def total_instructions(self) -> int:
+        """Warp instructions retired across every SM."""
+        return sum(r.stats.instructions_retired for r in self.sm_results)
+
+    def unit_activity(self, kind: ExecUnitKind) -> DomainEnergy:
+        """Summed per-kind activity across all SMs."""
+        total = DomainEnergy(0, 0, 0, 0)
+        for result in self.sm_results:
+            total = total + result.unit_activity(kind)
+        return total
+
+    def idle_histogram(self, kind: ExecUnitKind) -> Dict[int, int]:
+        """Device-wide idle-period histogram for one unit kind."""
+        merged: Dict[int, int] = {}
+        for result in self.sm_results:
+            for length, count in result.idle_histogram(kind).items():
+                merged[length] = merged.get(length, 0) + count
+        return merged
+
+
+class GPU:
+    """A device of independent SMs sharing a work distributor."""
+
+    def __init__(self, n_sms: int, sm_factory: SMFactory) -> None:
+        if n_sms < 1:
+            raise ValueError("n_sms must be >= 1")
+        self.n_sms = n_sms
+        self.sm_factory = sm_factory
+
+    def run(self, kernel: KernelTrace) -> GPUResult:
+        """Split, run and aggregate one kernel launch."""
+        results: List[SimResult] = []
+        for part in split_kernel(kernel, self.n_sms):
+            sm = self.sm_factory(part)
+            results.append(sm.run())
+        technique = results[0].technique if results else "baseline"
+        return GPUResult(kernel_name=kernel.name, technique=technique,
+                         sm_results=tuple(results))

@@ -1,0 +1,96 @@
+"""Lost-locality detection for cache-conscious scheduling (CCWS).
+
+Rogers et al.'s Cache-Conscious Wavefront Scheduling (cited by the
+paper's related-work section) observes that over-subscribed L1s thrash:
+a warp's working set gets evicted by other warps before it can reuse
+it.  CCWS detects this with per-warp *victim tag arrays* (VTAs): when a
+line a warp brought in is evicted, its tag enters that warp's VTA; if
+the warp later misses on a tag in its own VTA, the miss is *lost
+locality* — the data would have hit had fewer warps been sharing the
+cache.  An aggregate lost-locality score then throttles how many warps
+may issue.
+
+:class:`LostLocalityMonitor` implements the detection half (wired into
+:class:`repro.sim.memory.MemorySubsystem`); the throttling half lives in
+:class:`repro.sim.sched.ccws.CCWSScheduler`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+
+class LostLocalityMonitor:
+    """Per-warp victim tag arrays and a decaying lost-locality score."""
+
+    def __init__(self, vta_entries: int = 16,
+                 score_per_event: float = 32.0,
+                 decay_per_cycle: float = 0.03) -> None:
+        if vta_entries < 1:
+            raise ValueError("vta_entries must be >= 1")
+        if score_per_event <= 0:
+            raise ValueError("score_per_event must be positive")
+        if decay_per_cycle < 0:
+            raise ValueError("decay_per_cycle must be >= 0")
+        self.vta_entries = vta_entries
+        self.score_per_event = score_per_event
+        self.decay_per_cycle = decay_per_cycle
+        self._vtas: Dict[int, OrderedDict] = {}
+        self._scores: Dict[int, float] = {}
+        self.lost_locality_events = 0
+        self.evictions_recorded = 0
+
+    # ------------------------------------------------------------------
+    # memory-side hooks
+    # ------------------------------------------------------------------
+
+    def record_eviction(self, owner_warp: int, line: int) -> None:
+        """A line brought in by ``owner_warp`` was evicted."""
+        vta = self._vtas.setdefault(owner_warp, OrderedDict())
+        if line in vta:
+            vta.move_to_end(line)
+        else:
+            if len(vta) >= self.vta_entries:
+                vta.popitem(last=False)
+            vta[line] = None
+        self.evictions_recorded += 1
+
+    def record_miss(self, warp: int, line: int) -> bool:
+        """Classify a miss; True when it hits the warp's own VTA."""
+        vta = self._vtas.get(warp)
+        if vta is None or line not in vta:
+            return False
+        del vta[line]
+        self._scores[warp] = self._scores.get(warp, 0.0) \
+            + self.score_per_event
+        self.lost_locality_events += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # scheduler-side queries
+    # ------------------------------------------------------------------
+
+    def on_cycle(self, cycle: int) -> None:
+        """Decay every warp's score (point-system leak, as in CCWS)."""
+        if self.decay_per_cycle == 0.0:
+            return
+        for warp in list(self._scores):
+            score = self._scores[warp] - self.decay_per_cycle
+            if score <= 0.0:
+                del self._scores[warp]
+            else:
+                self._scores[warp] = score
+
+    def score_of(self, warp: int) -> float:
+        """Current lost-locality score of one warp."""
+        return self._scores.get(warp, 0.0)
+
+    def total_score(self) -> float:
+        """Aggregate lost-locality score across warps."""
+        return sum(self._scores.values())
+
+    def clear_warp(self, warp: int) -> None:
+        """Forget a warp's state (its slot was recycled)."""
+        self._vtas.pop(warp, None)
+        self._scores.pop(warp, None)

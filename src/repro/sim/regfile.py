@@ -1,0 +1,76 @@
+"""Banked register-file model.
+
+Figure 1a's SM carries a 128 KB register file; on Fermi it is organised
+as banks read through operand collectors.  When the operands of the
+instructions issued in one cycle collide on a bank, the collector
+serialises the reads and the dispatch port stalls for the extra cycles.
+
+The model is deliberately structural-only: per cycle it counts reads per
+bank (a warp instruction reads each source once; all 32 lanes of one
+architectural register live in the same bank) and charges each issued
+instruction the serialisation its reads add beyond the per-bank port
+count.  Registers map to banks with the standard warp-skewed interleave
+``(reg + warp) mod banks`` so different warps' same-numbered registers
+spread across banks.
+
+Disabled by default (``SMConfig.rf_banks = 0``) to keep the calibrated
+headline results identical to EXPERIMENTS.md; enable it to study how
+operand-collector pressure interacts with issue clustering (GATES packs
+same-type instructions, which slightly raises same-cycle conflict odds —
+the `bench_ablations` RF rows quantify it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.instructions import Instruction
+
+
+class RegisterFileModel:
+    """Per-cycle bank-conflict accounting."""
+
+    def __init__(self, banks: int, ports_per_bank: int = 1) -> None:
+        if banks < 1:
+            raise ValueError("banks must be >= 1")
+        if ports_per_bank < 1:
+            raise ValueError("ports_per_bank must be >= 1")
+        self.banks = banks
+        self.ports_per_bank = ports_per_bank
+        self._reads_this_cycle: Dict[int, int] = {}
+        self.total_conflict_cycles = 0
+        self.total_reads = 0
+
+    def bank_of(self, warp_slot: int, reg: int) -> int:
+        """Warp-skewed register-to-bank interleave."""
+        return (reg + warp_slot) % self.banks
+
+    def begin_cycle(self) -> None:
+        """Reset per-cycle read counts (called once per issue stage)."""
+        self._reads_this_cycle.clear()
+
+    def charge(self, warp_slot: int, inst: Instruction) -> int:
+        """Record ``inst``'s operand reads; return its stall penalty.
+
+        The penalty is the number of extra serialisation cycles this
+        instruction's reads add on its most contended bank, given the
+        reads already recorded this cycle.
+        """
+        penalty = 0
+        for reg in inst.registers_read():
+            bank = self.bank_of(warp_slot, reg)
+            count = self._reads_this_cycle.get(bank, 0) + 1
+            self._reads_this_cycle[bank] = count
+            self.total_reads += 1
+            over = count - self.ports_per_bank
+            if over > penalty:
+                penalty = over
+        self.total_conflict_cycles += penalty
+        return penalty
+
+    @property
+    def conflict_rate(self) -> float:
+        """Conflict cycles per operand read (diagnostics)."""
+        if self.total_reads == 0:
+            return 0.0
+        return self.total_conflict_cycles / self.total_reads

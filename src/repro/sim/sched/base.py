@@ -1,0 +1,83 @@
+"""Scheduler interface between the SM issue stage and warp schedulers.
+
+Each cycle the SM builds the *active set* — one :class:`IssueCandidate`
+per warp whose head instruction is not blocked on a long-latency memory
+event — plus a :class:`SchedulerView` carrying the aggregate counters the
+paper's issue logic keeps in hardware (INT_ACTV/FP_ACTV, per-type RDY
+counters, per-type blackout status).  The scheduler returns the *ready*
+candidates in issue-priority order; the SM walks that order, skipping
+candidates whose unit has a structural or power-gating hazard, until the
+issue width is filled.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.isa.instructions import Instruction
+from repro.isa.optypes import OpClass
+
+
+@dataclass(frozen=True)
+class IssueCandidate:
+    """One active-set entry as seen by the issue stage.
+
+    Attributes:
+        slot: Resident warp slot index.
+        age: Monotonic launch sequence number of the warp (lower = older);
+            schedulers use it for oldest-first tie-breaking.
+        inst: The warp's head instruction.
+        ready: Scoreboard-clean bit (the paper's R bit).
+    """
+
+    slot: int
+    age: int
+    inst: Instruction
+    ready: bool
+
+    @property
+    def op_class(self) -> OpClass:
+        """Instruction type of the warp's head (the two-bit field)."""
+        return self.inst.op_class
+
+
+@dataclass
+class SchedulerView:
+    """Aggregate per-cycle state exposed to schedulers.
+
+    Attributes:
+        actv_counts: Active-set occupancy per instruction type — the
+            hardware INT_ACTV / FP_ACTV counters (kept for all four
+            types here; GATES only consults INT and FP).
+        rdy_counts: Ready instructions per type (INT_RDY, FP_RDY, ...).
+        type_in_blackout: For each CUDA-core type, True when *every*
+            cluster of that type is in un-wakeable blackout; GATES'
+            extended priority switch consults this (section 5).
+    """
+
+    actv_counts: Dict[OpClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in OpClass})
+    rdy_counts: Dict[OpClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in OpClass})
+    type_in_blackout: Dict[OpClass, bool] = field(
+        default_factory=lambda: {cls: False for cls in OpClass})
+
+
+class WarpScheduler(abc.ABC):
+    """A warp-issue priority policy."""
+
+    #: Display name used in experiment records.
+    name = "abstract"
+
+    @abc.abstractmethod
+    def order(self, cycle: int, candidates: Sequence[IssueCandidate],
+              view: SchedulerView) -> List[IssueCandidate]:
+        """Return the ready candidates in descending issue priority."""
+
+    def on_issue(self, cycle: int, candidate: IssueCandidate) -> None:
+        """Callback after ``candidate`` actually issued (optional)."""
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh run (optional)."""

@@ -1,0 +1,84 @@
+"""Cache-conscious warp scheduler (CCWS, Rogers et al., MICRO-45).
+
+A related-work baseline from the paper's section 8: when the lost-
+locality monitor reports that warps are evicting each other's working
+sets, the scheduler throttles multithreading — only the oldest few
+warps keep issue privileges until the aggregate score decays, giving
+each survivor enough cache to stop thrashing.
+
+This is a simplification of Rogers' point system (per-warp scores
+there gate individual warps; here the aggregate score shrinks the
+issuable-warp window), sufficient to reproduce the behavioural contrast
+with GATES: CCWS clusters *cache footprints*, GATES clusters
+*instruction types* — only the latter lengthens per-unit idle windows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sim.locality import LostLocalityMonitor
+from repro.sim.sched.base import IssueCandidate, SchedulerView, WarpScheduler
+
+
+class CCWSScheduler(WarpScheduler):
+    """Two-level scheduling with lost-locality warp throttling."""
+
+    name = "ccws"
+
+    def __init__(self, n_slots: int = 48,
+                 monitor: Optional[LostLocalityMonitor] = None,
+                 score_per_excluded_warp: float = 64.0,
+                 min_active_warps: int = 2) -> None:
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        if score_per_excluded_warp <= 0:
+            raise ValueError("score_per_excluded_warp must be positive")
+        if min_active_warps < 1:
+            raise ValueError("min_active_warps must be >= 1")
+        self.n_slots = n_slots
+        self.monitor = monitor or LostLocalityMonitor()
+        self.score_per_excluded_warp = score_per_excluded_warp
+        self.min_active_warps = min_active_warps
+        self._last_slot = n_slots - 1
+        self.throttled_cycles = 0
+
+    def allowed_warps(self, n_candidates: int) -> int:
+        """How many (oldest) warps may issue given the current score."""
+        excluded = int(self.monitor.total_score()
+                       / self.score_per_excluded_warp)
+        return max(self.min_active_warps, n_candidates - excluded)
+
+    def order(self, cycle: int, candidates: Sequence[IssueCandidate],
+              view: SchedulerView) -> List[IssueCandidate]:
+        ready = [c for c in candidates if c.ready]
+        allowed = self.allowed_warps(len(candidates))
+        if allowed < len(candidates):
+            # Issue privileges go to the oldest warps (they own the
+            # victim-tagged working sets worth protecting).
+            privileged = {c.slot for c in
+                          sorted(candidates, key=lambda c: c.age)[:allowed]}
+            filtered = [c for c in ready if c.slot in privileged]
+            if len(filtered) < len(ready):
+                self.throttled_cycles += 1
+            ready = filtered
+        start = (self._last_slot + 1) % self.n_slots
+        ready.sort(key=lambda c: ((c.slot - start) % self.n_slots))
+        return ready
+
+    def on_issue(self, cycle: int, candidate: IssueCandidate) -> None:
+        self._last_slot = candidate.slot
+
+    def reset(self) -> None:
+        self._last_slot = self.n_slots - 1
+        self.throttled_cycles = 0
+
+
+class MonitorDecayHook:
+    """Cycle hook that drives the monitor's score decay."""
+
+    def __init__(self, monitor: LostLocalityMonitor) -> None:
+        self.monitor = monitor
+
+    def on_cycle(self, cycle: int) -> None:
+        self.monitor.on_cycle(cycle)

@@ -1,0 +1,172 @@
+"""Per-warp register scoreboard.
+
+The scoreboard tracks, for each resident warp, which architectural
+registers have an in-flight producer and when that producer will write
+back.  It answers the two questions the two-level scheduler needs every
+cycle (section 2.1 of the paper):
+
+* *ready bit* -- are all operands of the warp's next instruction
+  available (no busy source or destination register)?
+* *pending classification* -- is the warp blocked on a **long-latency**
+  producer (an outstanding memory load), which moves it from the active
+  set to the pending set?
+
+Completion times are recorded when known (ALU latencies and resolved
+memory accesses); a just-issued load whose hit/miss outcome is not yet
+determined is *unresolved* and treated as long-latency until the cache
+responds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.isa.instructions import Instruction
+
+#: Sentinel completion cycle for producers whose latency is not yet known
+#: (loads between LDST issue and cache access).
+UNRESOLVED = -1
+
+
+@dataclass
+class _Producer:
+    """In-flight producer of one register."""
+
+    ready_cycle: int  # cycle the value becomes readable, or UNRESOLVED
+    is_memory: bool   # produced by a load (long-latency candidate)
+
+
+class Scoreboard:
+    """Register dependence tracking for one warp.
+
+    The SM owns one scoreboard per resident warp slot; slots are recycled
+    via :meth:`reset` when a new warp becomes resident.
+    """
+
+    def __init__(self) -> None:
+        self._busy: Dict[int, _Producer] = {}
+        # Count of in-flight memory producers; lets the per-cycle
+        # pending-set classification skip the scan for the (common)
+        # warps with no outstanding loads.
+        self._mem_count = 0
+
+    def reset(self) -> None:
+        """Forget all in-flight producers (new warp occupies the slot)."""
+        self._busy.clear()
+        self._mem_count = 0
+
+    # ------------------------------------------------------------------
+    # issue-side interface
+    # ------------------------------------------------------------------
+
+    def is_ready(self, inst: Instruction, cycle: int) -> bool:
+        """True when ``inst`` could issue at ``cycle`` (RAW/WAW clean).
+
+        A register is *available* once the current cycle has reached its
+        producer's ready cycle.
+        """
+        if not self._busy:
+            return True
+        for reg in inst.srcs:
+            if self._is_busy(reg, cycle):
+                return False
+        if inst.dest is not None and self._is_busy(inst.dest, cycle):
+            return False
+        return True
+
+    def blocking_memory(self, inst: Instruction, cycle: int,
+                        pending_threshold: int) -> bool:
+        """True when ``inst`` waits on a long-latency memory producer.
+
+        This is the two-level scheduler's pending-set criterion: the warp
+        is blocked on a producer that is a memory load and either still
+        unresolved or more than ``pending_threshold`` cycles from writing
+        back.
+        """
+        if self._mem_count == 0:
+            return False
+        for reg in self._operand_registers(inst):
+            producer = self._busy.get(reg)
+            if producer is None or not producer.is_memory:
+                continue
+            if producer.ready_cycle == UNRESOLVED:
+                return True
+            if producer.ready_cycle - cycle > pending_threshold:
+                return True
+        return False
+
+    def record_issue(self, inst: Instruction, cycle: int) -> None:
+        """Mark ``inst``'s destination busy at issue time.
+
+        ALU destinations get a known ready cycle (issue + latency); load
+        destinations start unresolved and are refined by
+        :meth:`resolve_memory` once the cache classifies the access.
+        """
+        if inst.dest is None:
+            return
+        if inst.is_load:
+            previous = self._busy.get(inst.dest)
+            if previous is None or not previous.is_memory:
+                self._mem_count += 1
+            self._busy[inst.dest] = _Producer(UNRESOLVED, is_memory=True)
+        else:
+            previous = self._busy.get(inst.dest)
+            if previous is not None and previous.is_memory:
+                self._mem_count -= 1
+            self._busy[inst.dest] = _Producer(cycle + inst.latency,
+                                              is_memory=False)
+
+    # ------------------------------------------------------------------
+    # completion-side interface
+    # ------------------------------------------------------------------
+
+    def resolve_memory(self, reg: int, ready_cycle: int) -> None:
+        """Set the writeback time of an outstanding load's destination."""
+        producer = self._busy.get(reg)
+        if producer is None or not producer.is_memory:
+            raise KeyError(f"register r{reg} has no outstanding load")
+        producer.ready_cycle = ready_cycle
+
+    def release_completed(self, cycle: int) -> None:
+        """Drop producers whose values are readable at ``cycle``.
+
+        Called once per cycle; keeping completed producers around any
+        longer would spuriously block dependants.
+        """
+        if not self._busy:
+            return
+        done = [reg for reg, producer in self._busy.items()
+                if producer.ready_cycle != UNRESOLVED
+                and producer.ready_cycle <= cycle]
+        for reg in done:
+            if self._busy[reg].is_memory:
+                self._mem_count -= 1
+            del self._busy[reg]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def busy_registers(self) -> Tuple[int, ...]:
+        """Registers with an in-flight producer (diagnostics/tests)."""
+        return tuple(sorted(self._busy))
+
+    def outstanding_memory_registers(self) -> Tuple[int, ...]:
+        """Registers awaiting a memory value (diagnostics/tests)."""
+        return tuple(sorted(reg for reg, p in self._busy.items()
+                            if p.is_memory))
+
+    def _is_busy(self, reg: int, cycle: int) -> bool:
+        producer = self._busy.get(reg)
+        if producer is None:
+            return False
+        if producer.ready_cycle == UNRESOLVED:
+            return True
+        return producer.ready_cycle > cycle
+
+    @staticmethod
+    def _operand_registers(inst: Instruction) -> Iterable[int]:
+        yield from inst.srcs
+        if inst.dest is not None:
+            yield inst.dest

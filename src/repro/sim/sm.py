@@ -1,0 +1,514 @@
+"""The streaming-multiprocessor cycle model.
+
+One :class:`StreamingMultiprocessor` replays a :class:`KernelTrace`
+cycle by cycle through the stages of Figure 1a:
+
+1. **writeback** — memory values arrive, execution pipelines drain,
+   scoreboards release completed producers;
+2. **warp management** — finished warps free their slots, queued warps
+   launch (successive thread blocks refilling the SM);
+3. **fetch/decode** — round-robin fill of per-warp I-buffers;
+4. **classification** — each resident warp's head instruction is sorted
+   into the pending set (blocked on a long-latency memory event) or the
+   active set, with its ready bit and type counters (the two-level
+   scheduler's data structures, plus GATES' ACTV/RDY counters);
+5. **issue** — the plugged-in scheduler orders ready candidates; the SM
+   walks the order, resolving structural and power-gating hazards, until
+   the dual-issue width is filled;
+6. **power-gating update** — every pipeline reports busy/idle to its
+   idle-period tracker and (if gated) its gating domain; epoch hooks
+   (Adaptive idle-detect) tick last.
+
+Schedulers and gating policies are injected, so every technique in the
+paper — and every ablation — runs on the identical substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.optypes import ExecUnitKind, OpClass, UNIT_FOR_OP_CLASS
+from repro.isa.trace import KernelTrace
+from repro.power.energy import DomainEnergy
+from repro.power.gating import DomainState, GatingDomain, GatingStats
+from repro.sim.config import SMConfig
+from repro.sim.exec_units import ExecPipeline
+from repro.sim.frontend import (
+    FetchEngine,
+    MultiKernelLauncher,
+    WarpContext,
+    WarpLauncher,
+)
+from repro.sim.memory import MemoryStats, MemorySubsystem
+from repro.sim.regfile import RegisterFileModel
+from repro.sim.sched.base import IssueCandidate, SchedulerView, WarpScheduler
+from repro.sim.stats import SMStats
+
+
+class CycleHook(Protocol):
+    """Anything ticked once per cycle after the PG update (e.g. the
+    Adaptive idle-detect epoch controller)."""
+
+    def on_cycle(self, cycle: int) -> None: ...
+
+
+@dataclass(frozen=True)
+class WarpRecord:
+    """Lifetime of one launched warp (load-imbalance analysis)."""
+
+    warp_id: int
+    launch_cycle: int
+    finish_cycle: int
+    instructions: int
+
+    @property
+    def lifetime(self) -> int:
+        """Cycles between the warp's launch and final completion."""
+        return self.finish_cycle - self.launch_cycle
+
+
+@dataclass
+class SimResult:
+    """Everything a finished SM run exposes to analysis and harness."""
+
+    kernel_name: str
+    technique: str
+    cycles: int
+    stats: SMStats
+    memory: MemoryStats
+    domain_stats: Dict[str, GatingStats]
+    idle_detect_final: Dict[str, int]
+    pipeline_issues: Dict[str, int]
+    pipeline_lane_work: Dict[str, float]
+    pipelines_by_kind: Dict[ExecUnitKind, Tuple[str, ...]]
+    warp_records: Tuple[WarpRecord, ...] = ()
+
+    def pipeline_names(self, kind: ExecUnitKind) -> Tuple[str, ...]:
+        """Names of the pipelines of one unit kind."""
+        return self.pipelines_by_kind.get(kind, ())
+
+    def unit_activity(self, kind: ExecUnitKind) -> DomainEnergy:
+        """Summed activity of a unit kind, ready for the energy model.
+
+        ``cycles`` counts domain-cycles: run length times number of
+        clusters of the kind, so per-cycle leakage of every cluster is
+        represented.
+        """
+        names = self.pipeline_names(kind)
+        gated = sum(self.domain_stats[n].gated_cycles
+                    for n in names if n in self.domain_stats)
+        events = sum(self.domain_stats[n].gating_events
+                     for n in names if n in self.domain_stats)
+        issues = sum(self.pipeline_issues.get(n, 0) for n in names)
+        lane_work = sum(self.pipeline_lane_work.get(n, 0.0)
+                        for n in names)
+        return DomainEnergy(cycles=self.cycles * len(names),
+                            gated_cycles=gated, issues=issues,
+                            gating_events=events,
+                            lane_work=min(lane_work, float(issues)))
+
+    def gating_totals(self, kind: ExecUnitKind) -> GatingStats:
+        """Merged gating counters across the clusters of one kind."""
+        total = GatingStats()
+        for name in self.pipeline_names(kind):
+            stats = self.domain_stats.get(name)
+            if stats is None:
+                continue
+            total.gating_events += stats.gating_events
+            total.wakeups += stats.wakeups
+            total.wakeups_uncompensated += stats.wakeups_uncompensated
+            total.critical_wakeups += stats.critical_wakeups
+            total.gated_cycles += stats.gated_cycles
+            total.compensated_cycles += stats.compensated_cycles
+            total.uncompensated_cycles += stats.uncompensated_cycles
+            total.waking_cycles += stats.waking_cycles
+            total.on_cycles += stats.on_cycles
+            total.denied_wakeups += stats.denied_wakeups
+        return total
+
+    def idle_histogram(self, kind: ExecUnitKind) -> Dict[int, int]:
+        """Merged idle-period length histogram for one unit kind."""
+        merged: Dict[int, int] = {}
+        for name in self.pipeline_names(kind):
+            tracker = self.stats.idle_trackers.get(name)
+            if tracker is None:
+                continue
+            for length, count in tracker.histogram.items():
+                merged[length] = merged.get(length, 0) + count
+        return merged
+
+    def idle_fraction(self, kind: ExecUnitKind) -> float:
+        """Idle cycles / run cycles for one unit kind (Figure 8a)."""
+        return self.stats.idle_fraction(list(self.pipeline_names(kind)))
+
+    def compensated_metric(self, kind: ExecUnitKind) -> float:
+        """Signed compensated-state residency (Figure 8b).
+
+        (compensated - uncompensated) cycles over total domain-cycles;
+        negative when windows mostly ended before break-even.
+        """
+        totals = self.gating_totals(kind)
+        denom = self.cycles * max(1, len(self.pipeline_names(kind)))
+        return (totals.compensated_cycles
+                - totals.uncompensated_cycles) / denom
+
+
+class StreamingMultiprocessor:
+    """Trace-driven cycle model of one GTX480-like SM.
+
+    ``kernel`` may be a single :class:`KernelTrace` or a sequence of
+    them; a sequence runs back to back with device-level barriers (and
+    optional idle gaps of ``kernel_gap_cycles``) between kernels, the
+    way a host application launches dependent kernels.
+    """
+
+    def __init__(self, kernel, config: SMConfig,
+                 scheduler: WarpScheduler,
+                 dram_latency: Optional[int] = None,
+                 technique: str = "baseline",
+                 kernel_gap_cycles: int = 0) -> None:
+        if isinstance(kernel, KernelTrace):
+            self.kernels: List[KernelTrace] = [kernel]
+        else:
+            self.kernels = list(kernel)
+            if not self.kernels:
+                raise ValueError("need at least one kernel")
+        self.kernel = self.kernels[0]
+        self.config = config
+        self.scheduler = scheduler
+        self.technique = technique
+        self.memory = MemorySubsystem(config.memory, dram_latency)
+        self.fetch = FetchEngine(config.fetch_width, config.ibuffer_entries)
+
+        n_slots = min([config.max_resident_warps]
+                      + [k.max_resident_warps for k in self.kernels])
+        self.warps: List[WarpContext] = [WarpContext(i) for i in range(n_slots)]
+        if len(self.kernels) == 1 and kernel_gap_cycles == 0:
+            self.launcher = WarpLauncher(self.kernel, n_slots)
+        else:
+            self.launcher = MultiKernelLauncher(
+                self.kernels, n_slots, gap_cycles=kernel_gap_cycles)
+        self._ages: List[int] = [0] * n_slots
+        self._age_counter = 0
+        self._launch_cycles: List[int] = [0] * n_slots
+        self._warp_records: List[WarpRecord] = []
+
+        self.pipelines: List[ExecPipeline] = []
+        self._by_kind: Dict[ExecUnitKind, List[ExecPipeline]] = {
+            kind: [] for kind in ExecUnitKind}
+        for i in range(config.n_sp_clusters):
+            self._add_pipeline(ExecPipeline(
+                ExecUnitKind.INT, f"INT{i}", config.int_initiation_interval))
+            self._add_pipeline(ExecPipeline(
+                ExecUnitKind.FP, f"FP{i}", config.fp_initiation_interval))
+        self._add_pipeline(ExecPipeline(
+            ExecUnitKind.SFU, "SFU", config.sfu_initiation_interval))
+        self._add_pipeline(ExecPipeline(
+            ExecUnitKind.LDST, "LDST", config.ldst_initiation_interval))
+
+        self.domains: Dict[str, GatingDomain] = {}
+        self.hooks: List[CycleHook] = []
+        self.regfile: Optional[RegisterFileModel] = (
+            RegisterFileModel(config.rf_banks, config.rf_ports_per_bank)
+            if config.rf_banks else None)
+        self.stats = SMStats()
+        #: Active-set occupancy per type this cycle; Coordinated Blackout
+        #: policies read this (the hardware INT_ACTV / FP_ACTV counters).
+        self.actv_counts: Dict[OpClass, int] = {cls: 0 for cls in OpClass}
+        self._retry: List[Tuple[int, Instruction]] = []
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _add_pipeline(self, pipe: ExecPipeline) -> None:
+        self.pipelines.append(pipe)
+        self._by_kind[pipe.kind].append(pipe)
+
+    def attach_domain(self, pipeline_name: str,
+                      domain: GatingDomain) -> None:
+        """Attach a power-gating domain to one pipeline by name."""
+        if pipeline_name not in {p.name for p in self.pipelines}:
+            raise KeyError(f"no pipeline named {pipeline_name!r}")
+        self.domains[pipeline_name] = domain
+
+    def add_hook(self, hook: CycleHook) -> None:
+        """Register a per-cycle hook (runs after the PG update)."""
+        self.hooks.append(hook)
+
+    def pipelines_of(self, kind: ExecUnitKind) -> List[ExecPipeline]:
+        """The pipelines serving one unit kind."""
+        return self._by_kind[kind]
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Replay the kernel to completion and return the statistics."""
+        if self._ran:
+            raise RuntimeError("an SM instance runs exactly one kernel; "
+                               "build a fresh SM for another run")
+        self._ran = True
+        self.scheduler.reset()
+        cycle = 0
+        while not self._drained():
+            if cycle >= self.config.max_cycles:
+                raise RuntimeError(
+                    f"{self.kernel.name}: no drain after "
+                    f"{self.config.max_cycles} cycles (deadlock?)")
+            self._step(cycle)
+            cycle += 1
+        return self._collect(cycle)
+
+    def _drained(self) -> bool:
+        return (self.launcher.remaining == 0 and not self._retry
+                and all(not w.occupied for w in self.warps))
+
+    def _step(self, cycle: int) -> None:
+        self._writeback(cycle)
+        self._manage_warps(cycle)
+        self.stats.fetched += self.fetch.tick(self.warps)
+        candidates, view = self._classify(cycle)
+        self._issue(cycle, candidates, view)
+        self._update_power(cycle)
+        self.stats.cycles += 1
+        for hook in self.hooks:
+            hook.on_cycle(cycle)
+
+    # ------------------------------------------------------------------
+    # stage 1: writeback
+    # ------------------------------------------------------------------
+
+    def _writeback(self, cycle: int) -> None:
+        for completion in self.memory.tick(cycle):
+            self._retire(completion.warp_slot)
+        for pipe in self.pipelines:
+            for done in pipe.drain(cycle):
+                inst = done.inst
+                if inst.is_mem:
+                    self._access_memory(cycle, done.warp_slot, inst)
+                else:
+                    self._retire(done.warp_slot)
+        if self._retry:
+            still_waiting: List[Tuple[int, Instruction]] = []
+            for slot, inst in self._retry:
+                if not self._access_memory(cycle, slot, inst,
+                                           requeue=False):
+                    still_waiting.append((slot, inst))
+            self._retry = still_waiting
+        for warp in self.warps:
+            if warp.occupied:
+                warp.scoreboard.release_completed(cycle)
+
+    def _access_memory(self, cycle: int, slot: int, inst: Instruction,
+                       requeue: bool = True) -> bool:
+        """Hand a drained LDST instruction to the memory model.
+
+        Returns False when the MSHR file rejected the access (it will
+        retry next cycle and hold the LDST port via back-pressure).
+        """
+        ready = self.memory.access(cycle, slot, inst)
+        if ready is None:
+            if requeue:
+                self._retry.append((slot, inst))
+            return False
+        if inst.is_store:
+            self._retire(slot)
+        else:
+            assert inst.dest is not None
+            self.warps[slot].scoreboard.resolve_memory(inst.dest, ready)
+        return True
+
+    def _retire(self, slot: int) -> None:
+        warp = self.warps[slot]
+        warp.outstanding -= 1
+        warp.retired += 1
+        self.stats.instructions_retired += 1
+        if warp.outstanding < 0:
+            raise RuntimeError(f"warp slot {slot}: retired more than issued")
+
+    # ------------------------------------------------------------------
+    # stage 2: warp slot management
+    # ------------------------------------------------------------------
+
+    def _manage_warps(self, cycle: int) -> None:
+        for warp in self.warps:
+            if warp.occupied and warp.finished():
+                assert warp.trace is not None
+                self._warp_records.append(WarpRecord(
+                    warp_id=warp.trace.warp_id,
+                    launch_cycle=self._launch_cycles[warp.slot],
+                    finish_cycle=cycle,
+                    instructions=warp.retired))
+                warp.release()
+        if self.launcher.remaining:
+            resident = sum(1 for w in self.warps if w.occupied)
+            for warp in self.warps:
+                if warp.occupied:
+                    continue
+                trace = self.launcher.pop_next(cycle, resident)
+                if trace is None:
+                    break
+                warp.assign(trace)
+                self._ages[warp.slot] = self._age_counter
+                self._launch_cycles[warp.slot] = cycle
+                self._age_counter += 1
+                resident += 1
+
+    # ------------------------------------------------------------------
+    # stage 4: active/pending classification
+    # ------------------------------------------------------------------
+
+    def _classify(self, cycle: int) -> Tuple[List[IssueCandidate],
+                                             SchedulerView]:
+        threshold = self.config.memory.pending_threshold
+        view = SchedulerView()
+        candidates: List[IssueCandidate] = []
+        pending = 0
+        for warp in self.warps:
+            if not warp.occupied:
+                continue
+            head = warp.head()
+            if head is None:
+                continue
+            if warp.scoreboard.blocking_memory(head, cycle, threshold):
+                pending += 1
+                continue
+            ready = warp.scoreboard.is_ready(head, cycle)
+            view.actv_counts[head.op_class] += 1
+            if ready:
+                view.rdy_counts[head.op_class] += 1
+            candidates.append(IssueCandidate(
+                slot=warp.slot, age=self._ages[warp.slot],
+                inst=head, ready=ready))
+        for cls in (OpClass.INT, OpClass.FP):
+            view.type_in_blackout[cls] = self._type_in_blackout(cycle, cls)
+        self.actv_counts = view.actv_counts
+        self.stats.sample_warp_population(len(candidates), pending)
+        return candidates, view
+
+    def _type_in_blackout(self, cycle: int, cls: OpClass) -> bool:
+        pipes = self._by_kind[UNIT_FOR_OP_CLASS[cls]]
+        domains = [self.domains[p.name] for p in pipes
+                   if p.name in self.domains]
+        return bool(domains) and all(d.in_blackout(cycle) for d in domains)
+
+    # ------------------------------------------------------------------
+    # stage 5: issue
+    # ------------------------------------------------------------------
+
+    def _issue(self, cycle: int, candidates: List[IssueCandidate],
+               view: SchedulerView) -> None:
+        ordered = self.scheduler.order(cycle, candidates, view)
+        issued = 0
+        if self.regfile is not None:
+            self.regfile.begin_cycle()
+        for candidate in ordered:
+            if issued >= self.config.issue_width:
+                break
+            pipe = self._acquire_unit(cycle, candidate.op_class,
+                                      candidate.slot)
+            if pipe is None:
+                continue
+            warp = self.warps[candidate.slot]
+            inst = warp.pop_head()
+            # Operand-collector bank conflicts delay both the dispatch
+            # port and the result; the scoreboard sees the late start.
+            conflict = (self.regfile.charge(candidate.slot, inst)
+                        if self.regfile is not None else 0)
+            warp.scoreboard.record_issue(inst, cycle + conflict)
+            pipe.issue(cycle, candidate.slot, inst, extra_hold=conflict)
+            warp.outstanding += 1
+            self.stats.instructions_issued += 1
+            self.stats.issued_by_class[inst.op_class] += 1
+            self.scheduler.on_issue(cycle, candidate)
+            issued += 1
+        if issued < self.config.issue_width and not ordered:
+            self.stats.stalls.no_ready_warp += \
+                self.config.issue_width - issued
+
+    def _acquire_unit(self, cycle: int, op_class: OpClass,
+                      warp_slot: int) -> Optional[ExecPipeline]:
+        """Find the pipeline serving ``op_class`` for this warp.
+
+        CUDA-core (INT/FP) work is *bound* to the warp's home SP cluster
+        (``slot mod n_clusters``), modelling Fermi's static warp-to-
+        scheduler assignment — a warp cannot migrate to the other
+        cluster when its own is busy or asleep.  On a power-gating miss
+        the home cluster receives a wakeup request (granted immediately
+        under conventional gating, denied while in blackout).
+        """
+        kind = UNIT_FOR_OP_CLASS[op_class]
+        if kind is ExecUnitKind.LDST and self._retry:
+            # MSHR back-pressure holds the LDST port for retries.
+            self.stats.stalls.mshr_full += 1
+            return None
+        pipes = self._by_kind[kind]
+        pipe = pipes[warp_slot % len(pipes)]
+        domain = self.domains.get(pipe.name)
+        if domain is not None and not domain.available_for_issue(cycle):
+            if domain.state(cycle) is DomainState.WAKING:
+                self.stats.stalls.unit_waking += 1
+                return None
+            domain.request_wakeup(cycle)
+            if domain.is_gated(cycle):
+                self.stats.stalls.unit_gated += 1
+            else:
+                self.stats.stalls.unit_waking += 1
+            return None
+        if not pipe.port_available(cycle):
+            self.stats.stalls.structural += 1
+            return None
+        return pipe
+
+    # ------------------------------------------------------------------
+    # stage 6: power-gating update
+    # ------------------------------------------------------------------
+
+    #: Tracker name for whole-SM execution idleness (every pipeline
+    #: empty simultaneously) — the opportunity window that SM-granular
+    #: gating schemes like Wang et al. [22] can exploit.
+    SM_WIDE_TRACKER = "SM_WIDE"
+
+    def _update_power(self, cycle: int) -> None:
+        any_busy = False
+        for pipe in self.pipelines:
+            busy = pipe.is_busy(cycle)
+            any_busy = any_busy or busy
+            self.stats.tracker(pipe.name).observe(busy)
+            domain = self.domains.get(pipe.name)
+            if domain is not None:
+                domain.observe(cycle, busy)
+        self.stats.tracker(self.SM_WIDE_TRACKER).observe(any_busy)
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+
+    def _collect(self, cycles: int) -> SimResult:
+        self.stats.finalize()
+        for domain in self.domains.values():
+            domain.finalize(cycles)
+        name = "+".join(k.name for k in self.kernels) \
+            if len(self.kernels) > 1 else self.kernel.name
+        return SimResult(
+            kernel_name=name,
+            technique=self.technique,
+            cycles=cycles,
+            stats=self.stats,
+            memory=self.memory.stats,
+            domain_stats={name: d.stats for name, d in self.domains.items()},
+            idle_detect_final={name: d.idle_detect
+                               for name, d in self.domains.items()},
+            pipeline_issues={p.name: p.issued_count for p in self.pipelines},
+            pipeline_lane_work={p.name: p.lane_work
+                                for p in self.pipelines},
+            warp_records=tuple(self._warp_records),
+            pipelines_by_kind={
+                kind: tuple(p.name for p in pipes)
+                for kind, pipes in self._by_kind.items()},
+        )

@@ -1,0 +1,144 @@
+"""Statistics collection for the SM model.
+
+Everything the paper's figures need is gathered here per run:
+
+* per-pipeline busy/idle accounting and **idle-period length
+  histograms** (Figure 3),
+* active/pending warp population samples (Figure 5b),
+* issue counts per instruction type (Figure 5a denominators) and issue
+  stall reasons (diagnostics for the scheduler/PG interplay),
+* end-to-end cycle count (Figure 10's performance metric).
+
+Power-gating state counters (gated cycles, wakeups, critical wakeups)
+live with the controllers in :mod:`repro.power.gating`; the harness
+merges both sides into experiment records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.isa.optypes import OpClass
+
+
+class IdlePeriodTracker:
+    """Histogram of maximal idle-run lengths for one pipeline.
+
+    An *idle period* is a maximal run of cycles during which the pipeline
+    holds no work (its power-gating domain may be ON or gated — gated
+    cycles are by definition idle).  The paper partitions these lengths
+    into three regions (Figure 3): shorter than idle-detect, between
+    idle-detect and idle-detect+BET, and beyond.
+    """
+
+    def __init__(self) -> None:
+        self.histogram: Dict[int, int] = {}
+        self._current_run = 0
+        self.busy_cycles = 0
+        self.idle_cycles = 0
+
+    def observe(self, busy: bool) -> None:
+        """Record one cycle of pipeline state."""
+        if busy:
+            self.busy_cycles += 1
+            if self._current_run:
+                self.histogram[self._current_run] = \
+                    self.histogram.get(self._current_run, 0) + 1
+                self._current_run = 0
+        else:
+            self.idle_cycles += 1
+            self._current_run += 1
+
+    def finalize(self) -> None:
+        """Flush a trailing idle run at end of simulation."""
+        if self._current_run:
+            self.histogram[self._current_run] = \
+                self.histogram.get(self._current_run, 0) + 1
+            self._current_run = 0
+
+    @property
+    def total_periods(self) -> int:
+        """Number of completed idle periods."""
+        return sum(self.histogram.values())
+
+    def recorded_idle_cycles(self) -> int:
+        """Idle cycles accounted in completed periods (invariant hook)."""
+        return sum(length * count for length, count in self.histogram.items())
+
+
+@dataclass
+class IssueStalls:
+    """Why issue slots went unused (diagnostics, ablations)."""
+
+    no_ready_warp: int = 0       # nothing ready in the active set
+    structural: int = 0          # unit port held by an earlier warp
+    unit_gated: int = 0          # blackout: unit asleep, issue forbidden
+    unit_waking: int = 0         # conventional PG: wakeup in progress
+    mshr_full: int = 0           # LDST blocked on memory back-pressure
+
+
+@dataclass
+class SMStats:
+    """Aggregated statistics for one SM run."""
+
+    cycles: int = 0
+    instructions_issued: int = 0
+    instructions_retired: int = 0
+    fetched: int = 0
+    issued_by_class: Dict[OpClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in OpClass})
+    stalls: IssueStalls = field(default_factory=IssueStalls)
+
+    # Warp-population sampling (one sample per cycle).
+    active_warp_sum: int = 0
+    active_warp_max: int = 0
+    pending_warp_sum: int = 0
+
+    # name -> tracker for every pipeline in the SM.
+    idle_trackers: Dict[str, IdlePeriodTracker] = field(default_factory=dict)
+
+    def sample_warp_population(self, active: int, pending: int) -> None:
+        """Record this cycle's active/pending set sizes."""
+        self.active_warp_sum += active
+        self.pending_warp_sum += pending
+        if active > self.active_warp_max:
+            self.active_warp_max = active
+
+    @property
+    def avg_active_warps(self) -> float:
+        """Average active-set size over the run (Figure 5b)."""
+        return self.active_warp_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_pending_warps(self) -> float:
+        """Average pending-set size over the run."""
+        return self.pending_warp_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Warp instructions retired per cycle."""
+        return self.instructions_retired / self.cycles if self.cycles else 0.0
+
+    def tracker(self, name: str) -> IdlePeriodTracker:
+        """Get (or lazily create) the idle tracker for a pipeline."""
+        if name not in self.idle_trackers:
+            self.idle_trackers[name] = IdlePeriodTracker()
+        return self.idle_trackers[name]
+
+    def finalize(self) -> None:
+        """Flush open idle runs at end of run."""
+        for tracker in self.idle_trackers.values():
+            tracker.finalize()
+
+    def idle_fraction(self, pipeline_names: List[str]) -> float:
+        """Idle cycles / total cycles, averaged over ``pipeline_names``.
+
+        This is the y-axis quantity of Figure 8a before normalisation to
+        the baseline scheduler.
+        """
+        if not pipeline_names or self.cycles == 0:
+            return 0.0
+        total_idle = sum(self.idle_trackers[name].idle_cycles
+                         for name in pipeline_names)
+        return total_idle / (self.cycles * len(pipeline_names))

@@ -1,0 +1,84 @@
+"""Workload characterisation (Figure 5 of the paper).
+
+Two kinds of characterisation feed the paper's motivation:
+
+* **Static instruction mix** (Figure 5a) — measurable directly from the
+  generated traces; :func:`static_mix_for` / :func:`instruction_mix_table`
+  produce it.
+* **Active-warp population** (Figure 5b) — a *runtime* property (how many
+  warps sit in the active set each cycle) measured by the simulator's
+  statistics; :func:`active_warp_rows` formats those measurements next to
+  the paper's reference values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.isa.optypes import ALL_OP_CLASSES, OpClass
+from repro.workloads.registry import build_kernel
+from repro.workloads.specs import BENCHMARK_NAMES, get_profile
+
+
+def static_mix_for(name: str, seed: int = 0,
+                   scale: float = 1.0) -> Dict[OpClass, float]:
+    """Measured instruction-type mix of one benchmark's generated trace."""
+    return build_kernel(name, seed=seed, scale=scale).op_class_mix()
+
+
+def instruction_mix_table(names: Optional[Sequence[str]] = None,
+                          seed: int = 0, scale: float = 1.0,
+                          ) -> List[Dict[str, float]]:
+    """Figure 5a data: one row per benchmark with per-type fractions.
+
+    Rows carry both the *measured* mix of the generated trace and the
+    *specified* mix from the profile so calibration drift is visible.
+    """
+    selected = tuple(names) if names is not None else BENCHMARK_NAMES
+    rows: List[Dict[str, float]] = []
+    for name in selected:
+        measured = static_mix_for(name, seed=seed, scale=scale)
+        spec_mix = get_profile(name).spec.mix
+        row: Dict[str, float] = {"benchmark": name}  # type: ignore[dict-item]
+        for cls in ALL_OP_CLASSES:
+            row[cls.short_name] = measured[cls]
+            row[f"spec_{cls.short_name}"] = spec_mix.get(cls, 0.0)
+        rows.append(row)
+    return rows
+
+
+def active_warp_rows(measured: Mapping[str, Tuple[float, float]],
+                     ) -> List[Dict[str, float]]:
+    """Figure 5b data rows from simulator measurements.
+
+    Args:
+        measured: benchmark name -> (average, maximum) active-warp count,
+            as produced by ``SimResult.stats`` in the harness.
+
+    Returns:
+        Rows with measured and paper-reference average/maximum, sorted by
+        descending measured average (the paper sorts Fig. 5b this way).
+    """
+    rows: List[Dict[str, float]] = []
+    for name, (avg, peak) in measured.items():
+        profile = get_profile(name)
+        rows.append({
+            "benchmark": name,  # type: ignore[dict-item]
+            "avg_active_warps": avg,
+            "max_active_warps": peak,
+            "paper_avg": profile.paper_avg_active_warps,
+            "paper_max": profile.paper_max_active_warps,
+        })
+    rows.sort(key=lambda r: -float(r["avg_active_warps"]))
+    return rows
+
+
+def count_low_occupancy(rows: Iterable[Mapping[str, float]],
+                        threshold: float = 10.0) -> int:
+    """How many benchmarks average fewer than ``threshold`` active warps.
+
+    The paper reports this as "only 5 out of 18 benchmarks have fewer
+    than ten active warps on average" (section 4).
+    """
+    return sum(1 for row in rows
+               if float(row["avg_active_warps"]) < threshold)

@@ -1,0 +1,46 @@
+"""Tests for Pearson correlation (cross-checked against scipy)."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.analysis.correlation import (
+    critical_wakeups_per_kilocycle,
+    pearson_r,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_r([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_r([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_matches_scipy_on_random_data(self):
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            xs = rng.normal(size=20)
+            ys = 0.4 * xs + rng.normal(scale=0.5, size=20)
+            expected = scipy.stats.pearsonr(xs, ys).statistic
+            assert pearson_r(list(xs), list(ys)) == \
+                pytest.approx(expected, abs=1e-12)
+
+    def test_degenerate_cases_return_zero(self):
+        assert pearson_r([], []) == 0.0
+        assert pearson_r([1.0], [2.0]) == 0.0
+        assert pearson_r([1, 1, 1], [1, 2, 3]) == 0.0  # zero variance
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_r([1, 2], [1, 2, 3])
+
+
+class TestKilocycleMetric:
+    def test_scaling(self):
+        assert critical_wakeups_per_kilocycle(10, 2000) == \
+            pytest.approx(5.0)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            critical_wakeups_per_kilocycle(1, 0)

@@ -1,0 +1,80 @@
+"""Tests for idle-period region analysis."""
+
+import pytest
+
+from repro.analysis.idle_periods import (
+    histogram_series,
+    mean_idle_length,
+    region_fractions,
+)
+
+
+class TestRegionFractions:
+    def test_basic_partition(self):
+        # idle_detect=5, bet=14: regions are [1,5), [5,19), [19,inf).
+        histogram = {2: 4, 4: 2, 5: 1, 10: 2, 18: 1, 19: 1, 50: 1}
+        regions = region_fractions(histogram, idle_detect=5, bet=14)
+        assert regions.total_periods == 12
+        assert regions.wasted == pytest.approx(6 / 12)
+        assert regions.loss == pytest.approx(4 / 12)
+        assert regions.gain == pytest.approx(2 / 12)
+
+    def test_fractions_sum_to_one(self):
+        histogram = {i: i for i in range(1, 30)}
+        regions = region_fractions(histogram)
+        assert sum(regions.as_tuple()) == pytest.approx(1.0)
+
+    def test_boundaries(self):
+        # Exactly idle_detect falls into the loss region; exactly
+        # idle_detect + bet into the gain region.
+        regions = region_fractions({5: 1, 19: 1}, idle_detect=5, bet=14)
+        assert regions.loss == pytest.approx(0.5)
+        assert regions.gain == pytest.approx(0.5)
+
+    def test_empty_histogram(self):
+        regions = region_fractions({})
+        assert regions.as_tuple() == (0.0, 0.0, 0.0)
+        assert regions.total_periods == 0
+
+    def test_zero_idle_detect(self):
+        regions = region_fractions({1: 2, 20: 1}, idle_detect=0, bet=14)
+        assert regions.wasted == 0.0
+        assert regions.loss == pytest.approx(2 / 3)
+
+    def test_malformed_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            region_fractions({0: 3})
+        with pytest.raises(ValueError):
+            region_fractions({3: -1})
+        with pytest.raises(ValueError):
+            region_fractions({3: 1}, bet=0)
+
+
+class TestHistogramSeries:
+    def test_frequencies(self):
+        series = dict(histogram_series({1: 5, 3: 5}, max_length=5))
+        assert series[1] == pytest.approx(0.5)
+        assert series[3] == pytest.approx(0.5)
+        assert series[2] == 0.0
+
+    def test_tail_folding(self):
+        series = dict(histogram_series({1: 1, 30: 2, 99: 1},
+                                       max_length=25))
+        assert series[25] == pytest.approx(3 / 4)
+
+    def test_empty(self):
+        series = histogram_series({}, max_length=10)
+        assert len(series) == 10
+        assert all(f == 0.0 for _, f in series)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_series({1: 1}, max_length=0)
+
+
+class TestMeanIdleLength:
+    def test_mean(self):
+        assert mean_idle_length({2: 2, 6: 2}) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert mean_idle_length({}) == 0.0

@@ -1,0 +1,119 @@
+"""Tests for the Adaptive idle-detect epoch controller."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveIdleDetect
+from repro.core.blackout import NaiveBlackoutPolicy
+from repro.power.gating import GatingDomain
+from repro.power.params import GatingParams
+
+CFG = AdaptiveConfig(epoch_cycles=100, threshold=5, decay_epochs=4,
+                     min_idle_detect=5, max_idle_detect=10)
+
+
+def make_controller(n_domains: int = 2):
+    domains = [GatingDomain(f"INT{i}", GatingParams(idle_detect=5),
+                            NaiveBlackoutPolicy())
+               for i in range(n_domains)]
+    return AdaptiveIdleDetect(domains, CFG), domains
+
+
+def run_epoch(controller: AdaptiveIdleDetect, start: int) -> int:
+    """Advance the controller one full epoch; returns next start cycle."""
+    for cycle in range(start, start + CFG.epoch_cycles):
+        controller.on_cycle(cycle)
+    return start + CFG.epoch_cycles
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(epoch_cycles=0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(decay_epochs=0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(min_idle_detect=8, max_idle_detect=5)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(threshold=-1)
+
+    def test_needs_domains(self):
+        with pytest.raises(ValueError):
+            AdaptiveIdleDetect([], CFG)
+
+
+class TestAdaptation:
+    def test_increments_on_noisy_epoch(self):
+        controller, domains = make_controller()
+        domains[0].stats.critical_wakeups = 4
+        domains[1].stats.critical_wakeups = 2  # total 6 > threshold 5
+        run_epoch(controller, 0)
+        assert controller.idle_detect == 6
+        assert all(d.idle_detect == 6 for d in domains)
+
+    def test_quiet_epoch_alone_does_not_decrement(self):
+        controller, _ = make_controller()
+        run_epoch(controller, 0)
+        assert controller.idle_detect == 5  # already at the lower bound
+
+    def test_decay_after_four_quiet_epochs(self):
+        controller, domains = make_controller()
+        domains[0].stats.critical_wakeups = 10
+        start = run_epoch(controller, 0)          # -> 6
+        assert controller.idle_detect == 6
+        for _ in range(3):
+            start = run_epoch(controller, start)  # quiet x3: no change
+            assert controller.idle_detect == 6
+        start = run_epoch(controller, start)      # 4th quiet: decay
+        assert controller.idle_detect == 5
+
+    def test_noisy_epoch_resets_quiet_streak(self):
+        controller, domains = make_controller()
+        domains[0].stats.critical_wakeups = 10
+        start = run_epoch(controller, 0)          # -> 6
+        start = run_epoch(controller, start)      # quiet 1
+        start = run_epoch(controller, start)      # quiet 2
+        domains[0].stats.critical_wakeups += 10   # noisy again -> 7
+        start = run_epoch(controller, start)
+        assert controller.idle_detect == 7
+        for _ in range(3):
+            start = run_epoch(controller, start)
+        assert controller.idle_detect == 7        # only 3 quiet so far
+        run_epoch(controller, start)
+        assert controller.idle_detect == 6
+
+    def test_upper_bound_respected(self):
+        controller, domains = make_controller()
+        start = 0
+        for _ in range(10):
+            domains[0].stats.critical_wakeups += 100
+            start = run_epoch(controller, start)
+        assert controller.idle_detect == 10
+
+    def test_lower_bound_respected(self):
+        controller, _ = make_controller()
+        start = 0
+        for _ in range(20):
+            start = run_epoch(controller, start)
+        assert controller.idle_detect == 5
+
+    def test_counts_are_per_epoch_not_cumulative(self):
+        controller, domains = make_controller()
+        domains[0].stats.critical_wakeups = 6
+        start = run_epoch(controller, 0)          # noisy -> 6
+        # No NEW critical wakeups this epoch: must be treated as quiet.
+        start = run_epoch(controller, start)
+        assert controller.history[-1][1] == 0
+
+    def test_history_records_trajectory(self):
+        controller, domains = make_controller()
+        domains[0].stats.critical_wakeups = 7
+        start = run_epoch(controller, 0)
+        run_epoch(controller, start)
+        assert controller.history[0] == (0, 7, 6)
+        assert controller.history[1][0] == 1
+
+    def test_initial_value_clamped_into_bounds(self):
+        domain = GatingDomain("INT0", GatingParams(idle_detect=2),
+                              NaiveBlackoutPolicy())
+        controller = AdaptiveIdleDetect([domain], CFG)
+        assert domain.idle_detect == 5

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import FIGURE_BUILDERS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "hotspot", "nope"])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--benchmarks", "hotspto", "characterize"])
+
+    def test_figure_choices_cover_registry(self):
+        args = build_parser().parse_args(["figure", "fig10"])
+        assert args.name == "fig10"
+        assert set(FIGURE_BUILDERS) >= {"fig1b", "fig3", "fig5a", "fig5b",
+                                        "fig8a", "fig8b", "fig8c",
+                                        "fig9a", "fig9b", "fig10",
+                                        "sec75"}
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspot" in out
+        assert "warped_gates" in out
+        assert "fig9a" in out
+
+    def test_run(self, capsys):
+        code = main(["--scale", "0.2", "--benchmarks", "hotspot",
+                     "run", "hotspot", "conv_pg"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "int_static_savings" in out
+        assert "normalized_performance" in out
+
+    def test_figure_with_exports(self, capsys, tmp_path):
+        csv_path = tmp_path / "f.csv"
+        json_path = tmp_path / "f.json"
+        code = main(["--scale", "0.2", "--benchmarks", "hotspot,nw",
+                     "figure", "fig9a",
+                     "--csv", str(csv_path), "--json", str(json_path)])
+        assert code == 0
+        assert csv_path.exists() and json_path.exists()
+        document = json.loads(json_path.read_text())
+        assert document["figure"] == "fig9a"
+        names = [r["benchmark"] for r in document["records"]]
+        assert names == ["hotspot", "nw", "average"]
+
+    def test_sec75_figure_needs_no_simulation(self, capsys):
+        assert main(["figure", "sec75"]) == 0
+        assert "area_pct" in capsys.readouterr().out
+
+    def test_characterize(self, capsys):
+        code = main(["--scale", "0.2", "--benchmarks", "hotspot",
+                     "characterize"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5a" in out and "Figure 5b" in out
+
+    def test_sweep(self, capsys):
+        code = main(["--scale", "0.2", "--benchmarks", "hotspot",
+                     "sweep", "bet"])
+        assert code == 0
+        assert "break-even" in capsys.readouterr().out
+
+    def test_trace_export(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code = main(["--scale", "0.15", "trace", "hotspot", str(path)])
+        assert code == 0
+        from repro.isa.traceio import load_kernel
+        kernel = load_kernel(path)
+        assert kernel.name == "hotspot"
+        assert kernel.total_instructions > 0
+
+    def test_replicate(self, capsys):
+        code = main(["--scale", "0.15", "--benchmarks", "hotspot",
+                     "replicate", "--seeds", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 seeds" in out
+        assert "warped_gates" in out
+
+    def test_energy(self, capsys):
+        code = main(["--scale", "0.15", "--benchmarks", "hotspot",
+                     "energy", "hotspot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy breakdown" in out
+        assert "overhead" in out
+        # Baseline (no gating) totals exactly 1.0 by construction.
+        baseline_rows = [line for line in out.splitlines()
+                         if line.startswith("baseline")]
+        assert len(baseline_rows) == 2
+        for line in baseline_rows:
+            assert line.rstrip().endswith("1.000")
+
+    def test_fig6_figure(self, capsys):
+        code = main(["--scale", "0.15", "--benchmarks", "hotspot",
+                     "figure", "fig6"])
+        assert code == 0
+        assert "pearson_r" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Tests for the experiment runner and derived metrics."""
+
+import pytest
+
+from repro.core.techniques import Technique
+from repro.harness.experiment import (
+    ExperimentRunner,
+    ExperimentSettings,
+    geomean,
+    normalized_performance,
+)
+from repro.isa.optypes import ExecUnitKind
+from repro.power.params import GatingParams
+
+from tests.conftest import TEST_SCALE
+
+SETTINGS = ExperimentSettings(scale=TEST_SCALE, benchmarks=("hotspot",))
+
+
+class TestRunnerCaching:
+    def test_memoises_identical_runs(self):
+        runner = ExperimentRunner(SETTINGS)
+        a = runner.run("hotspot", Technique.BASELINE)
+        b = runner.run("hotspot", Technique.BASELINE)
+        assert a is b
+
+    def test_different_gating_params_not_conflated(self):
+        runner = ExperimentRunner(SETTINGS)
+        a = runner.run("hotspot", Technique.CONV_PG,
+                       gating=GatingParams(idle_detect=5))
+        b = runner.run("hotspot", Technique.CONV_PG,
+                       gating=GatingParams(idle_detect=9))
+        assert a is not b
+
+    def test_suite_covers_grid(self):
+        runner = ExperimentRunner(ExperimentSettings(
+            scale=TEST_SCALE, benchmarks=("hotspot", "nw")))
+        grid = runner.suite(techniques=(Technique.BASELINE,
+                                        Technique.CONV_PG))
+        assert set(grid) == {("hotspot", Technique.BASELINE),
+                             ("hotspot", Technique.CONV_PG),
+                             ("nw", Technique.BASELINE),
+                             ("nw", Technique.CONV_PG)}
+
+
+class TestMetrics:
+    def test_baseline_savings_zero(self):
+        runner = ExperimentRunner(SETTINGS)
+        assert runner.static_savings("hotspot", Technique.BASELINE,
+                                     ExecUnitKind.INT) == 0.0
+
+    def test_savings_bounded_above_by_one(self):
+        runner = ExperimentRunner(SETTINGS)
+        for kind in (ExecUnitKind.INT, ExecUnitKind.FP):
+            s = runner.static_savings("hotspot", Technique.WARPED_GATES,
+                                      kind)
+            assert s <= 1.0
+
+    def test_breakdown_normalises(self):
+        runner = ExperimentRunner(SETTINGS)
+        norm = runner.energy_breakdown(
+            "hotspot", Technique.BASELINE, ExecUnitKind.INT).normalized()
+        assert norm.dynamic + norm.static == pytest.approx(1.0)
+        assert norm.overhead == 0.0
+
+    def test_fp_population_excludes_integer_only(self):
+        runner = ExperimentRunner(ExperimentSettings(
+            scale=TEST_SCALE, benchmarks=("hotspot", "lavaMD", "nw")))
+        assert runner.fp_benchmarks() == ("hotspot",)
+
+    def test_energy_params_per_kind(self):
+        assert SETTINGS.energy_params(ExecUnitKind.INT).dyn_per_issue > \
+            SETTINGS.energy_params(ExecUnitKind.FP).dyn_per_issue
+
+
+class TestNormalizedPerformance:
+    def test_identity(self):
+        runner = ExperimentRunner(SETTINGS)
+        base = runner.baseline("hotspot")
+        assert normalized_performance(base, base) == 1.0
+
+    def test_slower_run_below_one(self):
+        runner = ExperimentRunner(SETTINGS)
+        base = runner.baseline("hotspot")
+        naive = runner.run("hotspot", Technique.NAIVE_BLACKOUT)
+        # Blackout may cost cycles but never a large factor at this scale.
+        assert 0.5 < normalized_performance(base, naive) <= 1.2
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,51 @@
+"""Tests for CSV/JSON result export."""
+
+import json
+
+import pytest
+
+from repro.harness.export import load_json_rows, rows_to_csv, rows_to_json
+
+HEADERS = ("benchmark", "savings")
+ROWS = [["hotspot", 0.25], ["bfs", 0.5]]
+
+
+class TestCSV:
+    def test_round_trips_headers_and_rows(self, tmp_path):
+        path = tmp_path / "out.csv"
+        text = rows_to_csv(HEADERS, ROWS, path=path)
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0] == "benchmark,savings"
+        assert lines[1] == "hotspot,0.25"
+        assert len(lines) == 3
+
+    def test_no_path_returns_only(self):
+        text = rows_to_csv(HEADERS, ROWS)
+        assert "bfs,0.5" in text
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            rows_to_csv(HEADERS, [["only-one"]])
+
+
+class TestJSON:
+    def test_document_structure(self, tmp_path):
+        path = tmp_path / "out.json"
+        text = rows_to_json(HEADERS, ROWS, path=path, figure="fig9a")
+        document = json.loads(text)
+        assert document["figure"] == "fig9a"
+        assert document["headers"] == list(HEADERS)
+        assert document["records"][0] == {"benchmark": "hotspot",
+                                          "savings": 0.25}
+
+    def test_load_round_trip(self, tmp_path):
+        path = tmp_path / "out.json"
+        rows_to_json(HEADERS, ROWS, path=path)
+        records = load_json_rows(path)
+        assert records == [{"benchmark": "hotspot", "savings": 0.25},
+                           {"benchmark": "bfs", "savings": 0.5}]
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            rows_to_json(HEADERS, [[1, 2, 3]])

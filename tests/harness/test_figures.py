@@ -1,0 +1,124 @@
+"""Tests for the per-figure builders."""
+
+import pytest
+
+from repro.core.techniques import Technique
+from repro.harness import figures
+from repro.harness.experiment import ExperimentRunner, ExperimentSettings
+from repro.isa.optypes import ExecUnitKind
+
+from tests.conftest import TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    settings = ExperimentSettings(scale=TEST_SCALE,
+                                  benchmarks=("hotspot", "nw", "sgemm"))
+    return ExperimentRunner(settings)
+
+
+class TestFig1b:
+    def test_rows_cover_four_bars(self, runner):
+        rows = figures.fig1b_rows(runner)
+        labels = {(r[0], r[1]) for r in rows}
+        assert labels == {("baseline", "int"), ("baseline", "fp"),
+                          ("conv_pg", "int"), ("conv_pg", "fp")}
+
+    def test_baseline_has_no_overhead(self, runner):
+        for row in figures.fig1b_rows(runner):
+            if row[0] == "baseline":
+                assert row[3] == pytest.approx(0.0)
+
+    def test_components_are_fractions(self, runner):
+        for row in figures.fig1b_rows(runner):
+            dyn, ovh, stat = row[2], row[3], row[4]
+            assert 0.0 <= dyn <= 1.0
+            assert 0.0 <= ovh <= 1.0
+            assert 0.0 <= stat <= 1.0
+
+    def test_fp_more_static_dominated_than_int(self, runner):
+        rows = {(r[0], r[1]): r for r in figures.fig1b_rows(runner)}
+        # Figure 1b: static share of FP baseline energy far exceeds INT's.
+        assert rows[("baseline", "fp")][4] > rows[("baseline", "int")][4]
+
+
+class TestFig3:
+    def test_three_panels(self, runner):
+        rows = figures.fig3_rows(runner)
+        assert [r[0] for r in rows] == ["conv_pg", "gates", "blackout"]
+
+    def test_regions_sum_to_one(self, runner):
+        for row in figures.fig3_rows(runner):
+            assert row[1] + row[2] + row[3] == pytest.approx(1.0)
+
+    def test_blackout_loss_region_empty(self, runner):
+        rows = {r[0]: r for r in figures.fig3_rows(runner)}
+        assert rows["blackout"][2] == pytest.approx(0.0)
+
+    def test_series_shape(self, runner):
+        series = figures.fig3_series(runner, Technique.CONV_PG,
+                                     max_length=25)
+        assert len(series) == 25
+        assert sum(f for _, f in series) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestFig5:
+    def test_mix_rows(self, runner):
+        rows = figures.fig5a_rows(runner)
+        assert len(rows) == 3
+        for row in rows:
+            assert row[1] + row[2] + row[3] + row[4] == pytest.approx(1.0)
+
+    def test_active_warp_rows_sorted(self, runner):
+        rows = figures.fig5b_rows(runner)
+        avgs = [row[1] for row in rows]
+        assert avgs == sorted(avgs, reverse=True)
+
+
+class TestFig8:
+    def test_fig8a_normalised_to_baseline(self, runner):
+        rows = figures.fig8a_rows(runner, ExecUnitKind.INT)
+        assert rows[-1][0] == "geomean"
+        for row in rows[:-1]:
+            for value in row[1:]:
+                assert value > 0.0
+
+    def test_fig8b_signed_metric_in_range(self, runner):
+        for row in figures.fig8b_rows(runner, ExecUnitKind.INT)[:-1]:
+            for value in row[1:]:
+                assert -1.0 <= value <= 1.0
+
+    def test_fig8c_conv_reference_is_one(self, runner):
+        # Normalising conv to conv would be 1; the figure omits it and
+        # reports the three techniques relative to conv.
+        rows = figures.fig8c_rows(runner, ExecUnitKind.INT)
+        assert len(rows[0]) == 4  # benchmark + three techniques
+
+
+class TestFig9and10:
+    def test_fig9_has_average_row(self, runner):
+        rows = figures.fig9_rows(runner, ExecUnitKind.INT)
+        assert rows[-1][0] == "average"
+        assert len(rows) == 4  # three benchmarks + average
+
+    def test_fig9_fp_excludes_integer_only(self, runner):
+        rows = figures.fig9_rows(runner, ExecUnitKind.FP)
+        names = [r[0] for r in rows]
+        assert "nw" not in names
+
+    def test_fig10_geomean_positive(self, runner):
+        rows = figures.fig10_rows(runner)
+        assert rows[-1][0] == "geomean"
+        assert all(v > 0.0 for v in rows[-1][1:])
+
+    def test_chip_savings_keys(self, runner):
+        est = figures.chip_savings_estimate(runner)
+        assert est["chip_savings_at_50pct_leakage"] > \
+            est["chip_savings_at_33pct_leakage"]
+
+
+class TestSec75:
+    def test_static_rows(self):
+        rows = figures.sec75_rows()
+        assert rows[0][0] == 176  # total storage bits in the inventory
+        assert rows[0][2] == pytest.approx(0.0025, abs=0.001)

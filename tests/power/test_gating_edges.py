@@ -1,0 +1,106 @@
+"""Edge-case tests for the gating state machine."""
+
+import pytest
+
+from repro.core.blackout import NaiveBlackoutPolicy
+from repro.power.gating import (
+    ConventionalPolicy,
+    DomainState,
+    GatingDomain,
+)
+from repro.power.params import GatingParams
+
+
+class TestZeroIdleDetect:
+    def test_gates_on_first_idle_cycle(self):
+        domain = GatingDomain("X", GatingParams(idle_detect=0, bet=5,
+                                                wakeup_delay=1),
+                              ConventionalPolicy())
+        domain.observe(0, pipeline_busy=True)
+        assert not domain.is_gated(1)
+        domain.observe(1, pipeline_busy=False)
+        assert domain.is_gated(2)
+
+    def test_regates_immediately_after_wakeup_idle(self):
+        domain = GatingDomain("X", GatingParams(idle_detect=0, bet=5,
+                                                wakeup_delay=1),
+                              ConventionalPolicy())
+        domain.observe(0, pipeline_busy=False)
+        assert domain.is_gated(1)
+        domain.request_wakeup(5)
+        # Awake at 6, still idle -> gates again right away.
+        domain.observe(6, pipeline_busy=False)
+        assert domain.is_gated(7)
+        assert domain.stats.gating_events == 2
+
+
+class TestWakeupRaces:
+    def make(self):
+        return GatingDomain("X", GatingParams(idle_detect=2, bet=6,
+                                              wakeup_delay=3),
+                            ConventionalPolicy())
+
+    def idle_until_gated(self, domain):
+        cycle = 0
+        while not domain.is_gated(cycle):
+            domain.observe(cycle, pipeline_busy=False)
+            cycle += 1
+        return cycle
+
+    def test_second_request_during_waking_is_noop(self):
+        domain = self.make()
+        gated_at = self.idle_until_gated(domain)
+        domain.request_wakeup(gated_at + 1)
+        assert domain.stats.wakeups == 1
+        # A second request while waking neither double-counts nor
+        # shortens the wakeup.
+        assert domain.request_wakeup(gated_at + 2) is False
+        assert domain.stats.wakeups == 1
+        assert domain.state(gated_at + 2) is DomainState.WAKING
+        assert domain.available_for_issue(gated_at + 4)
+
+    def test_request_at_gating_instant(self):
+        domain = self.make()
+        gated_at = self.idle_until_gated(domain)
+        # Wakeup at the very first gated cycle: zero savings, full
+        # overhead -- legal under conventional gating.
+        domain.request_wakeup(gated_at)
+        assert domain.stats.wakeups == 1
+        assert domain.stats.gated_cycles == 0
+        assert domain.stats.wakeups_uncompensated == 1
+
+    def test_idle_counting_resumes_after_wake(self):
+        domain = self.make()
+        gated_at = self.idle_until_gated(domain)
+        domain.request_wakeup(gated_at + 10)
+        wake_done = gated_at + 13
+        domain.observe(gated_at + 10, pipeline_busy=False)  # waking
+        domain.observe(gated_at + 11, pipeline_busy=False)
+        domain.observe(gated_at + 12, pipeline_busy=False)
+        assert domain.idle_counter == 0  # waking cycles don't count
+        domain.observe(wake_done, pipeline_busy=False)
+        assert domain.idle_counter == 1
+
+
+class TestBlackoutEdges:
+    def test_bet_one_wakes_next_cycle(self):
+        domain = GatingDomain("X", GatingParams(idle_detect=1, bet=1,
+                                                wakeup_delay=0),
+                              NaiveBlackoutPolicy())
+        domain.observe(0, pipeline_busy=False)
+        assert domain.is_gated(1)
+        assert domain.request_wakeup(1) is False  # gated_len 0 < bet 1
+        assert domain.is_gated(1)
+        domain.request_wakeup(2)                  # gated_len 1 == bet
+        assert not domain.is_gated(2)
+        assert domain.stats.critical_wakeups == 1
+
+    def test_denied_requests_counted_each_cycle(self):
+        domain = GatingDomain("X", GatingParams(idle_detect=1, bet=10,
+                                                wakeup_delay=1),
+                              NaiveBlackoutPolicy())
+        domain.observe(0, pipeline_busy=False)
+        for cycle in range(2, 8):
+            domain.request_wakeup(cycle)
+        assert domain.stats.denied_wakeups == 6
+        assert domain.stats.wakeups == 0

@@ -1,0 +1,62 @@
+"""Tests for power/gating parameter objects."""
+
+import pytest
+
+from repro.power.params import (
+    EnergyParams,
+    FP_DYN_PER_ISSUE,
+    GTX480PowerModel,
+    GatingParams,
+    INT_DYN_PER_ISSUE,
+)
+
+
+class TestGatingParams:
+    def test_paper_defaults(self):
+        params = GatingParams()
+        assert params.idle_detect == 5
+        assert params.bet == 14
+        assert params.wakeup_delay == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GatingParams(idle_detect=-1)
+        with pytest.raises(ValueError):
+            GatingParams(bet=0)
+        with pytest.raises(ValueError):
+            GatingParams(wakeup_delay=-1)
+
+    def test_frozen_and_hashable(self):
+        # The experiment runner keys its cache on gating params.
+        assert hash(GatingParams()) == hash(GatingParams())
+        assert GatingParams() == GatingParams()
+
+
+class TestEnergyParams:
+    def test_canonical_overhead_is_bet_leak_cycles(self):
+        params = EnergyParams.for_unit(dyn_per_issue=2.0, bet=14)
+        assert params.gate_overhead == pytest.approx(14.0)
+
+    def test_overhead_scales_with_leakage(self):
+        params = EnergyParams.for_unit(dyn_per_issue=2.0, bet=10,
+                                       leak_per_cycle=0.5)
+        assert params.gate_overhead == pytest.approx(5.0)
+
+    def test_calibration_constants_ordering(self):
+        # INT units are busier, so their dynamic weight is larger -- the
+        # Figure 1b calibration (static ~50% INT vs ~90% FP) needs it.
+        assert INT_DYN_PER_ISSUE > FP_DYN_PER_ISSUE
+
+
+class TestGTX480Model:
+    def test_paper_constants(self):
+        model = GTX480PowerModel()
+        assert model.total_chip_leakage_w == pytest.approx(26.87)
+        assert model.fp_units_leakage_w == pytest.approx(4.40)
+        assert model.int_units_leakage_w == pytest.approx(0.00557)
+        assert model.exec_unit_leakage_fraction == pytest.approx(0.1638)
+
+    def test_chip_savings_fraction(self):
+        model = GTX480PowerModel()
+        frac = model.chip_savings_fraction(0.40, leakage_share_of_chip=0.33)
+        assert frac == pytest.approx(0.40 * 0.1638 * 0.33)

@@ -1,0 +1,87 @@
+"""Property tests: the adaptive idle-detect controller."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveIdleDetect
+from repro.core.blackout import NaiveBlackoutPolicy
+from repro.power.gating import GatingDomain
+from repro.power.params import GatingParams
+
+configs = st.builds(
+    AdaptiveConfig,
+    epoch_cycles=st.integers(min_value=10, max_value=200),
+    threshold=st.integers(min_value=0, max_value=10),
+    decay_epochs=st.integers(min_value=1, max_value=6),
+    min_idle_detect=st.integers(min_value=0, max_value=5),
+    max_idle_detect=st.integers(min_value=5, max_value=20))
+
+#: Critical wakeups injected per epoch.
+epoch_streams = st.lists(st.integers(min_value=0, max_value=40),
+                         min_size=1, max_size=40)
+
+
+def drive(config: AdaptiveConfig, epochs):
+    """Run the controller through a synthetic critical-wakeup stream."""
+    domains = [GatingDomain(f"D{i}", GatingParams(), NaiveBlackoutPolicy())
+               for i in range(2)]
+    controller = AdaptiveIdleDetect(domains, config)
+    cycle = 0
+    for criticals in epochs:
+        domains[0].stats.critical_wakeups += criticals
+        for _ in range(config.epoch_cycles):
+            controller.on_cycle(cycle)
+            cycle += 1
+    return controller, domains
+
+
+@given(config=configs, epochs=epoch_streams)
+@settings(max_examples=200, deadline=None)
+def test_window_always_within_bounds(config, epochs):
+    controller, domains = drive(config, epochs)
+    for _, _, window in controller.history:
+        assert config.min_idle_detect <= window <= config.max_idle_detect
+    for domain in domains:
+        assert config.min_idle_detect <= domain.idle_detect \
+            <= config.max_idle_detect
+
+
+@given(config=configs, epochs=epoch_streams)
+@settings(max_examples=200, deadline=None)
+def test_one_epoch_closed_per_epoch(config, epochs):
+    controller, _ = drive(config, epochs)
+    assert len(controller.history) == len(epochs)
+    assert [h[0] for h in controller.history] == list(range(len(epochs)))
+
+
+@given(config=configs, epochs=epoch_streams)
+@settings(max_examples=200, deadline=None)
+def test_recorded_criticals_match_injection(config, epochs):
+    controller, _ = drive(config, epochs)
+    assert [h[1] for h in controller.history] == epochs
+
+
+@given(config=configs, epochs=epoch_streams)
+@settings(max_examples=200, deadline=None)
+def test_window_moves_at_most_one_per_epoch(config, epochs):
+    controller, _ = drive(config, epochs)
+    previous = controller.history[0][2]
+    for _, _, window in controller.history[1:]:
+        assert abs(window - previous) <= 1
+        previous = window
+
+
+@given(config=configs, epochs=epoch_streams)
+@settings(max_examples=200, deadline=None)
+def test_all_domains_share_one_window(config, epochs):
+    _, domains = drive(config, epochs)
+    assert len({d.idle_detect for d in domains}) == 1
+
+
+@given(config=configs)
+@settings(max_examples=100, deadline=None)
+def test_noisy_epochs_never_decrease_window(config):
+    controller, _ = drive(config,
+                          [config.threshold + 1] * 6)
+    windows = [h[2] for h in controller.history]
+    for earlier, later in zip(windows, windows[1:]):
+        assert later >= earlier

@@ -1,0 +1,68 @@
+"""Property tests: the L1 cache behaves like an LRU reference model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.memory import L1Cache
+
+geometries = st.tuples(st.sampled_from([1, 2, 4, 8]),
+                       st.integers(min_value=1, max_value=4))
+addresses = st.lists(st.integers(min_value=0, max_value=63),
+                     min_size=1, max_size=300)
+
+
+class ReferenceLRU:
+    """Straightforward per-set LRU model to check the cache against."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self.sets = sets
+        self.ways = ways
+        self.content = [OrderedDict() for _ in range(sets)]
+
+    def lookup(self, line: int, allocate: bool) -> bool:
+        cache_set = self.content[line % self.sets]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return True
+        if allocate:
+            if len(cache_set) >= self.ways:
+                cache_set.popitem(last=False)
+            cache_set[line] = None
+        return False
+
+
+@given(geometry=geometries, stream=addresses, allocate_on_read=st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_matches_reference_lru(geometry, stream, allocate_on_read):
+    sets, ways = geometry
+    cache = L1Cache(sets=sets, ways=ways)
+    reference = ReferenceLRU(sets=sets, ways=ways)
+    for line in stream:
+        assert cache.lookup(line, allocate_on_read) == \
+            reference.lookup(line, allocate_on_read)
+
+
+@given(geometry=geometries, stream=addresses)
+@settings(max_examples=100, deadline=None)
+def test_capacity_never_exceeded(geometry, stream):
+    sets, ways = geometry
+    cache = L1Cache(sets=sets, ways=ways)
+    for line in stream:
+        cache.lookup(line, allocate=True)
+    occupancy = sum(len(s) for s in cache._lines)
+    assert occupancy <= sets * ways
+
+
+@given(geometry=geometries, stream=addresses)
+@settings(max_examples=100, deadline=None)
+def test_working_set_within_one_set_hits_after_warmup(geometry, stream):
+    sets, ways = geometry
+    cache = L1Cache(sets=sets, ways=ways)
+    # Restrict the stream to at most `ways` distinct lines of one set:
+    # after each line is touched once, everything must hit.
+    lines = [(line // sets) * sets for line in stream][:ways]
+    for line in lines:
+        cache.lookup(line, allocate=True)
+    for line in lines:
+        assert cache.lookup(line, allocate=False)

@@ -1,0 +1,117 @@
+"""Property tests: the power-gating state machine never mis-accounts.
+
+A random but legal interaction sequence (idle/busy observations plus
+wakeup requests) is replayed against a domain under each policy; the
+bookkeeping invariants of the paper's controller must hold afterwards.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blackout import NaiveBlackoutPolicy
+from repro.power.gating import (
+    ConventionalPolicy,
+    DomainState,
+    GatingDomain,
+)
+from repro.power.params import GatingParams
+
+policies = st.sampled_from(["conventional", "naive_blackout"])
+params_strategy = st.builds(
+    GatingParams,
+    idle_detect=st.integers(min_value=1, max_value=8),
+    bet=st.integers(min_value=2, max_value=20),
+    wakeup_delay=st.integers(min_value=0, max_value=5))
+# Each event: (busy this cycle?, wakeup requested this cycle?)
+event_lists = st.lists(st.tuples(st.booleans(), st.booleans()),
+                       min_size=1, max_size=300)
+
+
+def build_domain(policy_name: str, params: GatingParams) -> GatingDomain:
+    policy = (ConventionalPolicy() if policy_name == "conventional"
+              else NaiveBlackoutPolicy())
+    return GatingDomain("X", params, policy)
+
+
+def replay(domain: GatingDomain, events) -> int:
+    """Drive the domain like the SM does; returns final cycle count."""
+    cycle = 0
+    for busy, wants_wakeup in events:
+        # The SM only lets work into a powered domain.
+        effective_busy = busy and domain.available_for_issue(cycle)
+        if wants_wakeup and not effective_busy:
+            domain.request_wakeup(cycle)
+        domain.observe(cycle, effective_busy)
+        cycle += 1
+    domain.finalize(cycle)
+    return cycle
+
+
+@given(policy_name=policies, params=params_strategy, events=event_lists)
+@settings(max_examples=150, deadline=None)
+def test_cycle_accounting_closes(policy_name, params, events):
+    domain = build_domain(policy_name, params)
+    cycles = replay(domain, events)
+    stats = domain.stats
+    accounted = stats.on_cycles + stats.waking_cycles + stats.gated_cycles
+    # A wakeup in flight at the end leaves < wakeup_delay cycles that
+    # are neither ON nor gated.
+    assert cycles - params.wakeup_delay <= accounted <= cycles
+
+
+@given(policy_name=policies, params=params_strategy, events=event_lists)
+@settings(max_examples=150, deadline=None)
+def test_gated_cycles_split_exactly(policy_name, params, events):
+    domain = build_domain(policy_name, params)
+    replay(domain, events)
+    stats = domain.stats
+    assert stats.compensated_cycles + stats.uncompensated_cycles == \
+        stats.gated_cycles
+    assert stats.uncompensated_cycles <= \
+        params.bet * max(1, stats.gating_events)
+
+
+@given(params=params_strategy, events=event_lists)
+@settings(max_examples=150, deadline=None)
+def test_blackout_never_wakes_uncompensated(params, events):
+    domain = build_domain("naive_blackout", params)
+    replay(domain, events)
+    assert domain.stats.wakeups_uncompensated == 0
+    # Every completed (woken) window therefore contributed exactly BET
+    # uncompensated cycles.
+    if domain.stats.wakeups == domain.stats.gating_events:
+        assert domain.stats.uncompensated_cycles == \
+            params.bet * domain.stats.wakeups
+
+
+@given(policy_name=policies, params=params_strategy, events=event_lists)
+@settings(max_examples=150, deadline=None)
+def test_wakeups_bounded_by_gating_events(policy_name, params, events):
+    domain = build_domain(policy_name, params)
+    replay(domain, events)
+    assert domain.stats.wakeups <= domain.stats.gating_events
+
+
+@given(params=params_strategy, events=event_lists)
+@settings(max_examples=150, deadline=None)
+def test_conventional_wakeup_always_granted_when_gated(params, events):
+    domain = build_domain("conventional", params)
+    replay(domain, events)
+    assert domain.stats.denied_wakeups == 0
+
+
+@given(policy_name=policies, params=params_strategy, events=event_lists)
+@settings(max_examples=100, deadline=None)
+def test_state_is_always_well_defined(policy_name, params, events):
+    domain = build_domain(policy_name, params)
+    cycle = 0
+    for busy, wants_wakeup in events:
+        state = domain.state(cycle)
+        assert state in (DomainState.ON, DomainState.GATED,
+                         DomainState.WAKING)
+        if state is not DomainState.ON:
+            assert not domain.available_for_issue(cycle)
+        effective_busy = busy and domain.available_for_issue(cycle)
+        if wants_wakeup and not effective_busy:
+            domain.request_wakeup(cycle)
+        domain.observe(cycle, effective_busy)
+        cycle += 1

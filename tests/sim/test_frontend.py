@@ -1,0 +1,131 @@
+"""Tests for warp contexts, instruction buffers, fetch and launch."""
+
+import pytest
+
+from repro.isa.instructions import int_op
+from repro.isa.trace import KernelTrace, WarpTrace
+from repro.sim.frontend import FetchEngine, WarpContext, WarpLauncher
+
+
+def make_trace(warp_id: int, n: int = 4) -> WarpTrace:
+    return WarpTrace(warp_id=warp_id,
+                     instructions=tuple(int_op(dest=i % 8) for i in range(n)))
+
+
+def make_kernel(n_warps: int, per_warp: int = 4,
+                cap: int = 48) -> KernelTrace:
+    return KernelTrace(name="k",
+                       warps=tuple(make_trace(i, per_warp)
+                                   for i in range(n_warps)),
+                       max_resident_warps=cap)
+
+
+class TestWarpContext:
+    def test_empty_slot(self):
+        ctx = WarpContext(0)
+        assert not ctx.occupied
+        assert ctx.head() is None
+
+    def test_assign_and_finish_lifecycle(self):
+        ctx = WarpContext(0)
+        ctx.assign(make_trace(0, n=1))
+        assert ctx.occupied and not ctx.finished()
+        ctx.ibuffer.append(ctx.trace[0])
+        ctx.fetch_pc = 1
+        inst = ctx.pop_head()
+        ctx.outstanding += 1
+        assert not ctx.finished()  # still one in flight
+        ctx.outstanding -= 1
+        assert ctx.finished()
+        ctx.release()
+        assert not ctx.occupied
+
+    def test_assign_resets_state(self):
+        ctx = WarpContext(0)
+        ctx.assign(make_trace(0))
+        ctx.fetch_pc = 3
+        ctx.outstanding = 2
+        ctx.assign(make_trace(1))
+        assert ctx.fetch_pc == 0
+        assert ctx.outstanding == 0
+
+
+class TestFetchEngine:
+    def test_fills_up_to_width(self):
+        warps = [WarpContext(i) for i in range(4)]
+        for i, w in enumerate(warps):
+            w.assign(make_trace(i, n=8))
+        fetch = FetchEngine(fetch_width=4, ibuffer_entries=2)
+        assert fetch.tick(warps) == 4
+
+    def test_respects_buffer_capacity(self):
+        warps = [WarpContext(0)]
+        warps[0].assign(make_trace(0, n=8))
+        fetch = FetchEngine(fetch_width=8, ibuffer_entries=2)
+        assert fetch.tick(warps) == 2
+        assert len(warps[0].ibuffer) == 2
+
+    def test_stops_at_trace_end(self):
+        warps = [WarpContext(0)]
+        warps[0].assign(make_trace(0, n=1))
+        fetch = FetchEngine(fetch_width=4, ibuffer_entries=4)
+        assert fetch.tick(warps) == 1
+        assert warps[0].trace_exhausted
+
+    def test_round_robin_rotates(self):
+        warps = [WarpContext(i) for i in range(3)]
+        for i, w in enumerate(warps):
+            w.assign(make_trace(i, n=10))
+        fetch = FetchEngine(fetch_width=1, ibuffer_entries=8)
+        fetch.tick(warps)
+        fetch.tick(warps)
+        fetch.tick(warps)
+        fed = [len(w.ibuffer) for w in warps]
+        assert sum(fed) == 3
+        assert max(fed) == 1  # spread across warps, not one hog
+
+    def test_skips_empty_slots(self):
+        warps = [WarpContext(0), WarpContext(1)]
+        warps[1].assign(make_trace(1, n=4))
+        fetch = FetchEngine(fetch_width=2, ibuffer_entries=2)
+        assert fetch.tick(warps) == 2
+        assert len(warps[1].ibuffer) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FetchEngine(fetch_width=0, ibuffer_entries=1)
+        with pytest.raises(ValueError):
+            FetchEngine(fetch_width=1, ibuffer_entries=0)
+
+
+class TestWarpLauncher:
+    def test_launch_into_respects_cap(self):
+        kernel = make_kernel(10, cap=48)
+        launcher = WarpLauncher(kernel, max_resident=4)
+        warps = [WarpContext(i) for i in range(8)]
+        launched = launcher.launch_into(warps)
+        assert launched == 4
+        assert launcher.remaining == 6
+
+    def test_kernel_cap_wins_when_smaller(self):
+        kernel = make_kernel(10, cap=2)
+        launcher = WarpLauncher(kernel, max_resident=8)
+        warps = [WarpContext(i) for i in range(8)]
+        assert launcher.launch_into(warps) == 2
+
+    def test_pop_next_exhausts(self):
+        kernel = make_kernel(2)
+        launcher = WarpLauncher(kernel, max_resident=4)
+        assert launcher.pop_next() is kernel.warps[0]
+        assert launcher.pop_next() is kernel.warps[1]
+        assert launcher.pop_next() is None
+        assert launcher.remaining == 0
+
+    def test_refill_after_release(self):
+        kernel = make_kernel(3)
+        launcher = WarpLauncher(kernel, max_resident=1)
+        warps = [WarpContext(0)]
+        assert launcher.launch_into(warps) == 1
+        warps[0].release()
+        assert launcher.launch_into(warps) == 1
+        assert launcher.remaining == 1

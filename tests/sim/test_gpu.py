@@ -1,0 +1,89 @@
+"""Tests for the multi-SM GPU wrapper."""
+
+import pytest
+
+from repro.core.techniques import Technique, TechniqueConfig, build_sm
+from repro.isa.instructions import int_op
+from repro.isa.optypes import ExecUnitKind
+from repro.isa.trace import KernelTrace, WarpTrace
+from repro.isa.tracegen import generate_kernel
+from repro.sim.gpu import GPU, split_kernel
+
+from tests.conftest import SMALL_SM
+
+
+def make_kernel(n_warps: int) -> KernelTrace:
+    warps = tuple(WarpTrace(i, (int_op(0), int_op(1, srcs=(0,))))
+                  for i in range(n_warps))
+    return KernelTrace(name="k", warps=warps, max_resident_warps=16)
+
+
+class TestSplitKernel:
+    def test_round_robin_distribution(self):
+        parts = split_kernel(make_kernel(10), n_sms=3)
+        assert [p.n_warps for p in parts] == [4, 3, 3]
+
+    def test_warp_ids_renumbered(self):
+        parts = split_kernel(make_kernel(6), n_sms=2)
+        for part in parts:
+            assert [w.warp_id for w in part.warps] == [0, 1, 2]
+
+    def test_drops_empty_sms(self):
+        parts = split_kernel(make_kernel(2), n_sms=8)
+        assert len(parts) == 2
+
+    def test_preserves_instructions(self):
+        kernel = make_kernel(5)
+        parts = split_kernel(kernel, n_sms=2)
+        total = sum(p.total_instructions for p in parts)
+        assert total == kernel.total_instructions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_kernel(make_kernel(2), n_sms=0)
+
+
+class TestGPU:
+    def _factory(self, technique=Technique.BASELINE):
+        def build(kernel):
+            return build_sm(kernel, TechniqueConfig(technique),
+                            sm_config=SMALL_SM)
+        return build
+
+    def test_aggregates_instructions(self, balanced_spec):
+        kernel = generate_kernel(balanced_spec, seed=1)
+        gpu = GPU(n_sms=3, sm_factory=self._factory())
+        result = gpu.run(kernel)
+        assert result.total_instructions == kernel.total_instructions
+
+    def test_device_cycles_is_slowest_sm(self, balanced_spec):
+        kernel = generate_kernel(balanced_spec, seed=1)
+        result = GPU(n_sms=2, sm_factory=self._factory()).run(kernel)
+        assert result.cycles == max(r.cycles for r in result.sm_results)
+
+    def test_unit_activity_sums_over_sms(self, balanced_spec):
+        kernel = generate_kernel(balanced_spec, seed=1)
+        result = GPU(n_sms=2, sm_factory=self._factory()).run(kernel)
+        per_sm = [r.unit_activity(ExecUnitKind.INT)
+                  for r in result.sm_results]
+        total = result.unit_activity(ExecUnitKind.INT)
+        assert total.issues == sum(a.issues for a in per_sm)
+        assert total.cycles == sum(a.cycles for a in per_sm)
+
+    def test_idle_histogram_merges(self, balanced_spec):
+        kernel = generate_kernel(balanced_spec, seed=1)
+        result = GPU(n_sms=2, sm_factory=self._factory()).run(kernel)
+        merged = result.idle_histogram(ExecUnitKind.INT)
+        per_sm_total = sum(sum(r.idle_histogram(ExecUnitKind.INT).values())
+                           for r in result.sm_results)
+        assert sum(merged.values()) == per_sm_total
+
+    def test_technique_label_propagates(self, balanced_spec):
+        kernel = generate_kernel(balanced_spec, seed=1)
+        gpu = GPU(n_sms=2,
+                  sm_factory=self._factory(Technique.WARPED_GATES))
+        assert gpu.run(kernel).technique == "warped_gates"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPU(n_sms=0, sm_factory=self._factory())

@@ -1,0 +1,153 @@
+"""Unit/integration tests for the SM cycle model."""
+
+import pytest
+
+from repro.core.techniques import Technique, TechniqueConfig, build_sm
+from repro.isa.instructions import fp_op, int_op, load_op, sfu_op, store_op
+from repro.isa.optypes import ExecUnitKind, OpClass
+from repro.isa.trace import KernelTrace, WarpTrace
+from repro.sim.config import MemoryConfig, SMConfig
+from repro.sim.sched.two_level import TwoLevelScheduler
+from repro.sim.sm import StreamingMultiprocessor
+
+from tests.conftest import SMALL_SM, run_tiny
+
+
+def make_sm(kernel: KernelTrace, config: SMConfig = SMALL_SM,
+            **kwargs) -> StreamingMultiprocessor:
+    scheduler = TwoLevelScheduler(n_slots=min(config.max_resident_warps,
+                                              kernel.max_resident_warps))
+    return StreamingMultiprocessor(kernel, config, scheduler, **kwargs)
+
+
+def single_warp_kernel(*insts) -> KernelTrace:
+    return KernelTrace(name="k", warps=(WarpTrace(0, tuple(insts)),),
+                       max_resident_warps=4)
+
+
+class TestCompletion:
+    def test_all_instructions_retire(self, tiny_kernel):
+        result = make_sm(tiny_kernel).run()
+        assert result.stats.instructions_retired == \
+            tiny_kernel.total_instructions
+        assert result.stats.instructions_issued == \
+            result.stats.instructions_retired
+
+    def test_single_dependent_chain_timing(self):
+        # Three chained INT adds: issue at 0, 4, 8; last retires at 12.
+        kernel = single_warp_kernel(
+            int_op(0), int_op(1, srcs=(0,)), int_op(2, srcs=(1,)))
+        result = make_sm(kernel).run()
+        assert result.cycles == 13  # drain completes during cycle 12
+
+    def test_loads_resolve_and_unblock(self):
+        kernel = single_warp_kernel(
+            load_op(0, line_addr=1), int_op(1, srcs=(0,)))
+        config = SMConfig(max_resident_warps=4,
+                          memory=MemoryConfig(dram_latency=50,
+                                              dram_jitter=0.0))
+        result = make_sm(kernel, config).run()
+        # load issues ~cycle 0, exits LDST at 2, misses (50) -> dependent
+        # issues at ~52, retires at ~56.
+        assert 55 <= result.cycles <= 62
+        assert result.memory.misses == 1
+
+    def test_stores_do_not_block_warp(self):
+        kernel = single_warp_kernel(
+            store_op(line_addr=3, srcs=(1,)), int_op(0))
+        result = make_sm(kernel).run()
+        assert result.cycles < 15
+        assert result.memory.stores == 1
+
+    def test_sfu_instructions_execute(self):
+        kernel = single_warp_kernel(sfu_op(0), sfu_op(1))
+        result = make_sm(kernel).run()
+        assert result.pipeline_issues["SFU"] == 2
+
+    def test_more_warps_than_slots(self):
+        warps = tuple(WarpTrace(i, (int_op(0), fp_op(1)))
+                      for i in range(12))
+        kernel = KernelTrace(name="k", warps=warps, max_resident_warps=4)
+        result = make_sm(kernel).run()
+        assert result.stats.instructions_retired == 24
+
+    def test_sm_single_use(self, tiny_kernel):
+        sm = make_sm(tiny_kernel)
+        sm.run()
+        with pytest.raises(RuntimeError, match="exactly one kernel"):
+            sm.run()
+
+    def test_deadlock_guard_raises(self, tiny_kernel):
+        config = SMConfig(max_resident_warps=4, max_cycles=3)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            make_sm(tiny_kernel, config).run()
+
+
+class TestStructure:
+    def test_pipeline_inventory_matches_config(self, tiny_kernel):
+        config = SMConfig(n_sp_clusters=3, max_resident_warps=4)
+        sm = make_sm(tiny_kernel, config)
+        names = {p.name for p in sm.pipelines}
+        assert names == {"INT0", "INT1", "INT2", "FP0", "FP1", "FP2",
+                         "SFU", "LDST"}
+
+    def test_home_cluster_binding(self):
+        # Even warp slots use cluster 0, odd slots cluster 1.
+        warps = tuple(WarpTrace(i, (int_op(0),)) for i in range(4))
+        kernel = KernelTrace(name="k", warps=warps, max_resident_warps=4)
+        result = make_sm(kernel).run()
+        assert result.pipeline_issues["INT0"] == 2
+        assert result.pipeline_issues["INT1"] == 2
+
+    def test_attach_domain_validates_name(self, tiny_kernel):
+        from repro.power.gating import ConventionalPolicy, GatingDomain
+        from repro.power.params import GatingParams
+        sm = make_sm(tiny_kernel)
+        domain = GatingDomain("nope", GatingParams(), ConventionalPolicy())
+        with pytest.raises(KeyError):
+            sm.attach_domain("NOPE", domain)
+
+    def test_result_pipeline_names(self, tiny_kernel):
+        result = make_sm(tiny_kernel).run()
+        assert result.pipeline_names(ExecUnitKind.INT) == ("INT0", "INT1")
+        assert result.pipeline_names(ExecUnitKind.SFU) == ("SFU",)
+
+
+class TestAccounting:
+    def test_issued_by_class_matches_kernel(self, tiny_kernel):
+        result = make_sm(tiny_kernel).run()
+        counts = tiny_kernel.op_class_counts()
+        for cls in OpClass:
+            assert result.stats.issued_by_class[cls] == counts[cls]
+
+    def test_busy_plus_idle_equals_cycles(self, tiny_kernel):
+        result = make_sm(tiny_kernel).run()
+        for tracker in result.stats.idle_trackers.values():
+            assert tracker.busy_cycles + tracker.idle_cycles == \
+                result.cycles
+
+    def test_idle_histogram_mass_invariant(self, tiny_kernel):
+        result = make_sm(tiny_kernel).run()
+        for tracker in result.stats.idle_trackers.values():
+            assert tracker.recorded_idle_cycles() == tracker.idle_cycles
+
+    def test_unit_activity_without_gating(self, tiny_kernel):
+        result = make_sm(tiny_kernel).run()
+        activity = result.unit_activity(ExecUnitKind.INT)
+        assert activity.cycles == 2 * result.cycles
+        assert activity.gated_cycles == 0
+        assert activity.gating_events == 0
+        assert activity.issues == result.pipeline_issues["INT0"] + \
+            result.pipeline_issues["INT1"]
+
+
+class TestDeterminism:
+    def test_same_kernel_same_result(self, balanced_spec):
+        from repro.isa.tracegen import generate_kernel
+        kernel = generate_kernel(balanced_spec, seed=3)
+        r1 = make_sm(kernel).run()
+        r2 = make_sm(kernel).run()
+        assert r1.cycles == r2.cycles
+        assert r1.stats.instructions_retired == \
+            r2.stats.instructions_retired
+        assert r1.pipeline_issues == r2.pipeline_issues

@@ -1,0 +1,109 @@
+"""Tests for statistics collection and the idle-period tracker."""
+
+import pytest
+
+from repro.isa.optypes import OpClass
+from repro.sim.stats import IdlePeriodTracker, SMStats
+
+
+class TestIdlePeriodTracker:
+    def test_counts_busy_and_idle(self):
+        tracker = IdlePeriodTracker()
+        for busy in [True, False, False, True, False, True]:
+            tracker.observe(busy)
+        tracker.finalize()
+        assert tracker.busy_cycles == 3
+        assert tracker.idle_cycles == 3
+
+    def test_records_maximal_runs(self):
+        tracker = IdlePeriodTracker()
+        pattern = [True, False, False, True, False, False, False, True]
+        for busy in pattern:
+            tracker.observe(busy)
+        tracker.finalize()
+        assert tracker.histogram == {2: 1, 3: 1}
+
+    def test_trailing_run_needs_finalize(self):
+        tracker = IdlePeriodTracker()
+        for busy in [True, False, False]:
+            tracker.observe(busy)
+        assert tracker.histogram == {}
+        tracker.finalize()
+        assert tracker.histogram == {2: 1}
+
+    def test_finalize_idempotent_on_flushed_state(self):
+        tracker = IdlePeriodTracker()
+        tracker.observe(False)
+        tracker.finalize()
+        tracker.finalize()
+        assert tracker.histogram == {1: 1}
+
+    def test_invariant_idle_cycles_equal_histogram_mass(self):
+        tracker = IdlePeriodTracker()
+        pattern = [False, False, True, False, True, True, False, False,
+                   False, True, False]
+        for busy in pattern:
+            tracker.observe(busy)
+        tracker.finalize()
+        assert tracker.recorded_idle_cycles() == tracker.idle_cycles
+
+    def test_all_busy_yields_no_periods(self):
+        tracker = IdlePeriodTracker()
+        for _ in range(10):
+            tracker.observe(True)
+        tracker.finalize()
+        assert tracker.total_periods == 0
+        assert tracker.idle_cycles == 0
+
+
+class TestSMStats:
+    def test_warp_population_sampling(self):
+        stats = SMStats()
+        stats.sample_warp_population(active=4, pending=2)
+        stats.sample_warp_population(active=8, pending=0)
+        stats.cycles = 2
+        assert stats.avg_active_warps == pytest.approx(6.0)
+        assert stats.avg_pending_warps == pytest.approx(1.0)
+        assert stats.active_warp_max == 8
+
+    def test_zero_cycles_safe(self):
+        stats = SMStats()
+        assert stats.avg_active_warps == 0.0
+        assert stats.ipc == 0.0
+
+    def test_tracker_is_lazily_created_and_cached(self):
+        stats = SMStats()
+        t1 = stats.tracker("INT0")
+        t2 = stats.tracker("INT0")
+        assert t1 is t2
+
+    def test_idle_fraction_averages_pipelines(self):
+        stats = SMStats()
+        stats.cycles = 10
+        a = stats.tracker("INT0")
+        b = stats.tracker("INT1")
+        for _ in range(4):
+            a.observe(False)
+        for _ in range(6):
+            a.observe(True)
+        for _ in range(8):
+            b.observe(False)
+        for _ in range(2):
+            b.observe(True)
+        assert stats.idle_fraction(["INT0", "INT1"]) == pytest.approx(0.6)
+
+    def test_idle_fraction_empty_inputs(self):
+        stats = SMStats()
+        assert stats.idle_fraction([]) == 0.0
+
+    def test_finalize_flushes_all_trackers(self):
+        stats = SMStats()
+        stats.tracker("A").observe(False)
+        stats.tracker("B").observe(False)
+        stats.finalize()
+        assert stats.tracker("A").histogram == {1: 1}
+        assert stats.tracker("B").histogram == {1: 1}
+
+    def test_issued_by_class_initialised(self):
+        stats = SMStats()
+        assert set(stats.issued_by_class) == set(OpClass)

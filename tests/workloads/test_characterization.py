@@ -1,0 +1,56 @@
+"""Tests for workload characterisation (Figure 5 utilities)."""
+
+import pytest
+
+from repro.isa.optypes import OpClass
+from repro.workloads.characterization import (
+    active_warp_rows,
+    count_low_occupancy,
+    instruction_mix_table,
+    static_mix_for,
+)
+from repro.workloads.specs import get_profile
+
+
+class TestStaticMix:
+    def test_measured_mix_tracks_spec(self):
+        measured = static_mix_for("hotspot", scale=0.5)
+        spec_mix = get_profile("hotspot").spec.mix
+        for cls in OpClass:
+            assert measured[cls] == pytest.approx(spec_mix[cls], abs=0.06)
+
+    def test_integer_only_measured_as_such(self):
+        assert static_mix_for("lavaMD", scale=0.5)[OpClass.FP] == 0.0
+
+
+class TestMixTable:
+    def test_rows_cover_selection(self):
+        rows = instruction_mix_table(("hotspot", "bfs"), scale=0.25)
+        assert [r["benchmark"] for r in rows] == ["hotspot", "bfs"]
+
+    def test_rows_have_measured_and_spec_columns(self):
+        row = instruction_mix_table(("hotspot",), scale=0.25)[0]
+        for key in ("int", "fp", "sfu", "ldst",
+                    "spec_int", "spec_fp", "spec_sfu", "spec_ldst"):
+            assert key in row
+
+    def test_fractions_sum_to_one(self):
+        row = instruction_mix_table(("sgemm",), scale=0.25)[0]
+        total = row["int"] + row["fp"] + row["sfu"] + row["ldst"]
+        assert total == pytest.approx(1.0)
+
+
+class TestActiveWarpRows:
+    def test_sorted_descending_and_annotated(self):
+        rows = active_warp_rows({"hotspot": (20.0, 30.0),
+                                 "nw": (3.0, 8.0),
+                                 "srad": (25.0, 40.0)})
+        assert [r["benchmark"] for r in rows] == ["srad", "hotspot", "nw"]
+        assert rows[0]["paper_avg"] == \
+            get_profile("srad").paper_avg_active_warps
+
+    def test_count_low_occupancy(self):
+        rows = [{"avg_active_warps": 3.0}, {"avg_active_warps": 12.0},
+                {"avg_active_warps": 9.9}]
+        assert count_low_occupancy(rows) == 2
+        assert count_low_occupancy(rows, threshold=5.0) == 1
