@@ -85,6 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("benchmark", choices=BENCHMARK_NAMES)
     run_cmd.add_argument("technique",
                          choices=[t.value for t in Technique])
+    run_cmd.add_argument("--emit-events", metavar="PATH", default=None,
+                         help="write the run's event stream as JSONL")
+    run_cmd.add_argument("--emit-chrome-trace", metavar="PATH",
+                         default=None,
+                         help="write a Chrome trace-event JSON of the "
+                              "run (load in Perfetto / chrome://tracing)")
+    run_cmd.add_argument("--profile", action="store_true",
+                         help="print per-run provenance manifests "
+                              "(config hash, wall-clock, cycles/sec)")
 
     fig_cmd = sub.add_parser("figure", help="regenerate a paper figure")
     fig_cmd.add_argument("name", choices=sorted(FIGURE_BUILDERS))
@@ -147,10 +156,38 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """Run one benchmark under one technique; print headline metrics."""
-    runner = _runner(args)
+    """Run one benchmark under one technique; print headline metrics.
+
+    ``--emit-events`` / ``--emit-chrome-trace`` instrument *the
+    requested run only* (the baseline/savings companion runs are
+    simulated with the bus disabled); ``--profile`` prints the
+    provenance manifest of every simulation the command performed.
+    """
+    from repro.obs import ChromeTraceExporter, EventBus, JsonlEventLog
+
+    instrument = bool(args.emit_events or args.emit_chrome_trace)
+    bus = EventBus(enabled=instrument) if instrument else None
+    event_log = chrome_trace = None
+    if args.emit_events:
+        event_log = JsonlEventLog(args.emit_events).attach(bus)
+    if args.emit_chrome_trace:
+        chrome_trace = ChromeTraceExporter().attach(bus)
+
+    runner = ExperimentRunner(ExperimentSettings(
+        seed=args.seed, scale=args.scale,
+        benchmarks=_parse_benchmarks(args.benchmarks)), bus=bus)
     technique = Technique(args.technique)
     result = runner.run(args.benchmark, technique)
+    if bus is not None:
+        bus.disable()  # companion runs below stay uninstrumented
+    if event_log is not None:
+        event_log.close()
+        print(f"wrote {args.emit_events} "
+              f"({event_log.events_written} events)")
+    if chrome_trace is not None:
+        chrome_trace.write(args.emit_chrome_trace,
+                           end_cycle=result.cycles)
+        print(f"wrote {args.emit_chrome_trace}")
     base = runner.baseline(args.benchmark)
     int_savings = runner.static_savings(args.benchmark, technique,
                                         ExecUnitKind.INT)
@@ -168,6 +205,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     ]
     print(format_table(("metric", "value"), rows,
                        title=f"{args.benchmark} / {technique.value}"))
+    if args.profile:
+        print()
+        print(format_table(
+            ("benchmark", "technique", "config", "cycles",
+             "build_s", "simulate_s", "cycles/s"),
+            [[m.benchmark, m.technique, m.config_hash, m.cycles,
+              round(m.wall_seconds.get("build_trace", 0.0), 3),
+              round(m.wall_seconds.get("simulate", 0.0), 3),
+              f"{m.cycles_per_sec:,.0f}"]
+             for m in runner.manifests],
+            title="Run manifests (uncached simulations)"))
     return 0
 
 

@@ -24,8 +24,10 @@ Figure 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.bus import NULL_BUS, EventBus
+from repro.obs.events import EpochAdapt
 from repro.power.gating import GatingDomain
 
 
@@ -58,11 +60,18 @@ class AdaptiveIdleDetect:
     """
 
     def __init__(self, domains: Sequence[GatingDomain],
-                 config: AdaptiveConfig = AdaptiveConfig()) -> None:
+                 config: AdaptiveConfig = AdaptiveConfig(),
+                 bus: Optional[EventBus] = None,
+                 label: Optional[str] = None) -> None:
         if not domains:
             raise ValueError("adaptive control needs at least one domain")
         self.domains = list(domains)
         self.config = config
+        #: Observability bus (the SM's, when wired by ``build_sm``).
+        self.bus = bus if bus is not None else NULL_BUS
+        #: Unit-type tag carried by EpochAdapt events ("INT", "FP", ...);
+        #: defaults to the first domain's name stripped of cluster digits.
+        self.label = label or self.domains[0].name.rstrip("0123456789")
         self._last_seen_critical = 0
         self._quiet_epochs = 0
         self._next_epoch_end = config.epoch_cycles
@@ -85,11 +94,11 @@ class AdaptiveIdleDetect:
         if cycle + 1 < self._next_epoch_end:
             return
         self._next_epoch_end += self.config.epoch_cycles
-        self._close_epoch()
+        self._close_epoch(cycle)
 
     # ------------------------------------------------------------------
 
-    def _close_epoch(self) -> None:
+    def _close_epoch(self, cycle: int) -> None:
         total_critical = sum(d.stats.critical_wakeups for d in self.domains)
         this_epoch = total_critical - self._last_seen_critical
         self._last_seen_critical = total_critical
@@ -105,6 +114,9 @@ class AdaptiveIdleDetect:
                 self._quiet_epochs = 0
         self._apply(value)
         self.history.append((self._epoch_index, this_epoch, value))
+        if self.bus.enabled:
+            self.bus.publish(EpochAdapt(
+                cycle, self.label, self._epoch_index, this_epoch, value))
         self._epoch_index += 1
 
     def _apply(self, value: int) -> None:

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.isa.optypes import OpClass
+from repro.obs.events import PriorityFlip
 from repro.sim.sched.base import IssueCandidate, SchedulerView, WarpScheduler
 
 
@@ -95,23 +96,25 @@ class GatesScheduler(WarpScheduler):
     def _update_priority(self, cycle: int, view: SchedulerView) -> None:
         hi = self._highest
         lo = OpClass.FP if hi is OpClass.INT else OpClass.INT
-        swap = False
+        reason = None
         if view.actv_counts[hi] == 0 and view.actv_counts[lo] > 0:
             # The highest type's active subset drained: hand the top
             # slot to the other type (dynamic priority switching).
-            swap = True
+            reason = "drained"
         elif (self.blackout_aware and view.type_in_blackout[hi]
               and not view.type_in_blackout[lo]):
             # Coordinated Blackout extension: both clusters of the
             # highest type are asleep past waking, so let the other
             # type's warps drain meanwhile.
-            swap = True
+            reason = "blackout"
         elif (self.max_priority_cycles is not None
               and cycle - self._priority_since >= self.max_priority_cycles
               and view.actv_counts[lo] > 0):
             # Designer-set anti-starvation bound.
-            swap = True
-        if swap:
+            reason = "timeout"
+        if reason is not None:
             self._highest = lo
             self._priority_since = cycle
             self.priority_switches += 1
+            if self.bus.enabled:
+                self.bus.publish(PriorityFlip(cycle, lo.name, reason))

@@ -30,6 +30,7 @@ from repro.core.blackout import CoordinatedBlackoutPolicy, NaiveBlackoutPolicy
 from repro.core.gates import GatesScheduler
 from repro.isa.optypes import OpClass, UNIT_FOR_OP_CLASS
 from repro.isa.trace import KernelTrace
+from repro.obs.bus import EventBus
 from repro.power.gating import ConventionalPolicy, GatingDomain, GatingPolicy
 from repro.power.params import GatingParams
 from repro.sim.config import SMConfig
@@ -114,7 +115,8 @@ class TechniqueConfig:
 def build_sm(kernel, config: TechniqueConfig,
              sm_config: Optional[SMConfig] = None,
              dram_latency: Optional[int] = None,
-             kernel_gap_cycles: int = 0) -> StreamingMultiprocessor:
+             kernel_gap_cycles: int = 0,
+             bus: Optional["EventBus"] = None) -> StreamingMultiprocessor:
     """Assemble an SM wired for one technique.
 
     ``kernel`` is a :class:`KernelTrace` or a sequence of them (run
@@ -122,6 +124,10 @@ def build_sm(kernel, config: TechniqueConfig,
     The wiring mirrors Figure 7: the scheduler choice, the per-cluster
     gating domains with their policies, and (for Warped Gates) the
     per-type adaptive idle-detect hooks.
+
+    ``bus`` is an optional observability bus shared by the SM, its
+    gating domains, the scheduler and the epoch hooks; omitted, the SM
+    creates its own disabled one (reachable as ``sm.bus``).
     """
     sm_config = sm_config or SMConfig()
     technique = config.technique
@@ -146,7 +152,8 @@ def build_sm(kernel, config: TechniqueConfig,
     sm = StreamingMultiprocessor(kernel, sm_config, scheduler,
                                  dram_latency=dram_latency,
                                  technique=technique.value,
-                                 kernel_gap_cycles=kernel_gap_cycles)
+                                 kernel_gap_cycles=kernel_gap_cycles,
+                                 bus=bus)
     if isinstance(scheduler, CCWSScheduler):
         # Wire the lost-locality feedback loop: the memory path feeds
         # the monitor, a cycle hook decays its scores.
@@ -185,7 +192,8 @@ def _attach_cuda_core_domains(sm: StreamingMultiprocessor,
             domains.append(domain)
 
         if technique is Technique.WARPED_GATES:
-            sm.add_hook(AdaptiveIdleDetect(domains, config.adaptive))
+            sm.add_hook(AdaptiveIdleDetect(domains, config.adaptive,
+                                           bus=sm.bus, label=cls.name))
 
 
 def _actv_reader(sm: StreamingMultiprocessor, cls: OpClass):
@@ -197,7 +205,8 @@ def _actv_reader(sm: StreamingMultiprocessor, cls: OpClass):
 
 def run_benchmark(name: str, config: TechniqueConfig,
                   sm_config: Optional[SMConfig] = None,
-                  seed: int = 0, scale: float = 1.0) -> SimResult:
+                  seed: int = 0, scale: float = 1.0,
+                  bus: Optional["EventBus"] = None) -> SimResult:
     """Build, wire and run one benchmark under one technique.
 
     Uses the benchmark profile's DRAM latency; the trace for a given
@@ -207,5 +216,5 @@ def run_benchmark(name: str, config: TechniqueConfig,
     kernel = build_kernel(name, seed=seed, scale=scale)
     profile = get_profile(name)
     sm = build_sm(kernel, config, sm_config=sm_config,
-                  dram_latency=profile.dram_latency)
+                  dram_latency=profile.dram_latency, bus=bus)
     return sm.run()

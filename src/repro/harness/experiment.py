@@ -9,17 +9,20 @@ figure set touches the same ~110 runs many times.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.techniques import (
     PAPER_TECHNIQUES,
     Technique,
     TechniqueConfig,
-    run_benchmark,
+    build_sm,
 )
 from repro.isa.optypes import ExecUnitKind
+from repro.obs.bus import EventBus
+from repro.obs.manifest import RunManifest, config_hash
 from repro.power.energy import domain_energy, EnergyBreakdown
 from repro.power.params import (
     EnergyParams,
@@ -29,7 +32,12 @@ from repro.power.params import (
 )
 from repro.sim.config import SMConfig
 from repro.sim.sm import SimResult
-from repro.workloads.specs import BENCHMARK_NAMES, INTEGER_ONLY_BENCHMARKS
+from repro.workloads.registry import build_kernel
+from repro.workloads.specs import (
+    BENCHMARK_NAMES,
+    INTEGER_ONLY_BENCHMARKS,
+    get_profile,
+)
 
 
 @dataclass(frozen=True)
@@ -61,11 +69,28 @@ class ExperimentSettings:
 
 
 class ExperimentRunner:
-    """Runs and caches (benchmark, technique) simulations."""
+    """Runs and caches (benchmark, technique) simulations.
 
-    def __init__(self, settings: ExperimentSettings = ExperimentSettings()):
-        self.settings = settings
+    ``settings`` defaults to a fresh :class:`ExperimentSettings` built
+    *per runner* (never a shared module-level instance).  ``bus``, when
+    given, is wired into every SM the runner builds — enable it and
+    attach exporters to stream events from the runs.
+
+    Every uncached simulation appends a :class:`RunManifest` to
+    ``self.manifests``: the run's exact configuration (hashed), its
+    wall-clock cost per phase and its simulated-cycles/second
+    throughput — the provenance record the CLI's ``--profile`` flag
+    surfaces.
+    """
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None,
+                 bus: Optional[EventBus] = None):
+        self.settings = settings if settings is not None \
+            else ExperimentSettings()
+        self.bus = bus
         self._cache: Dict[Tuple, SimResult] = {}
+        #: Provenance records, one per uncached simulation, in run order.
+        self.manifests: List[RunManifest] = []
 
     def run(self, benchmark: str, technique: Technique,
             gating: Optional[GatingParams] = None,
@@ -78,10 +103,33 @@ class ExperimentRunner:
         if key not in self._cache:
             config = TechniqueConfig(technique=technique, gating=gating,
                                      adaptive=adaptive)
-            self._cache[key] = run_benchmark(
-                benchmark, config, sm_config=self.settings.sm_config,
-                seed=self.settings.seed, scale=self.settings.scale)
+            self._cache[key] = self._run_uncached(benchmark, config)
         return self._cache[key]
+
+    def _run_uncached(self, benchmark: str,
+                      config: TechniqueConfig) -> SimResult:
+        """Simulate one configuration, recording its manifest."""
+        settings = self.settings
+        t0 = time.perf_counter()
+        kernel = build_kernel(benchmark, seed=settings.seed,
+                              scale=settings.scale)
+        t1 = time.perf_counter()
+        sm = build_sm(kernel, config, sm_config=settings.sm_config,
+                      dram_latency=get_profile(benchmark).dram_latency,
+                      bus=self.bus)
+        result = sm.run()
+        t2 = time.perf_counter()
+        self.manifests.append(RunManifest(
+            benchmark=benchmark,
+            technique=config.technique.value,
+            seed=settings.seed,
+            scale=settings.scale,
+            config_hash=config_hash(config, settings.sm_config),
+            cycles=result.cycles,
+            instructions=result.stats.instructions_retired,
+            wall_seconds={"build_trace": t1 - t0, "simulate": t2 - t1},
+            events_published=sm.bus.events_published))
+        return result
 
     def baseline(self, benchmark: str) -> SimResult:
         """The no-gating two-level reference run for one benchmark."""

@@ -1,0 +1,60 @@
+"""Unified observability layer: events, metrics, exporters, provenance.
+
+The subsystem has four pieces, all usable independently:
+
+* :mod:`repro.obs.events` / :mod:`repro.obs.bus` — typed simulator
+  events published into a zero-cost-when-disabled :class:`EventBus`;
+  every SM owns one (``sm.bus``), shared with its gating domains,
+  scheduler and epoch hooks.
+* :mod:`repro.obs.metrics` — a labelled counters/gauges/histograms
+  registry; the legacy per-object stats export into it at end of run and
+  the flat dict lands on :class:`~repro.sim.sm.SimResult` as
+  ``result.metrics``.
+* :mod:`repro.obs.exporters` — JSONL event log and Chrome trace-event
+  output (loadable in Perfetto).
+* :mod:`repro.obs.manifest` — per-run provenance records (config hash,
+  wall-clock per phase, cycles/sec).
+"""
+
+from repro.obs.bus import NULL_BUS, EventBus
+from repro.obs.events import (
+    EVENT_TYPES,
+    BlackoutBlocked,
+    EpochAdapt,
+    Event,
+    GateOff,
+    GateOn,
+    IssueStall,
+    KernelBoundary,
+    PriorityFlip,
+    Wakeup,
+)
+from repro.obs.exporters import (
+    ChromeTraceExporter,
+    JsonlEventLog,
+    load_jsonl_events,
+    validate_chrome_trace,
+)
+from repro.obs.manifest import (
+    RunManifest,
+    config_hash,
+    load_manifests,
+    write_manifests,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+
+__all__ = [
+    "EventBus", "NULL_BUS", "Event", "EVENT_TYPES",
+    "GateOn", "GateOff", "Wakeup", "BlackoutBlocked",
+    "PriorityFlip", "EpochAdapt", "IssueStall", "KernelBoundary",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "metric_key",
+    "JsonlEventLog", "ChromeTraceExporter", "load_jsonl_events",
+    "validate_chrome_trace",
+    "RunManifest", "config_hash", "write_manifests", "load_manifests",
+]

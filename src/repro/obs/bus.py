@@ -1,0 +1,130 @@
+"""The simulator's event bus.
+
+One :class:`EventBus` instance rides along with each
+:class:`~repro.sim.sm.StreamingMultiprocessor`; the gating domains, the
+scheduler and the epoch hooks all hold a reference to the *same* bus, so
+enabling it (before ``run()``) turns the whole machine's event stream on
+at once.
+
+Zero cost when disabled
+-----------------------
+
+The bus is **disabled by default** and the simulator's hot paths guard
+both event *construction* and *publication* behind a single attribute
+read::
+
+    if bus.enabled:
+        bus.publish(GateOn(cycle, self.name))
+
+so an uninstrumented run pays one boolean check per would-be event — no
+allocation, no dispatch, no subscriber bookkeeping.  ``publish`` also
+early-returns when disabled, so a stray unguarded call is still cheap.
+
+Subscribers register per event type (or for every event) and are called
+synchronously, in registration order, in simulated-cycle order — the
+publish sites sit inside the cycle loop, so the stream a subscriber sees
+is totally ordered by (cycle, publication sequence).
+
+``NULL_BUS`` is a shared, permanently disabled instance used as the
+default for components constructed outside an SM (e.g. a scheduler unit
+test); it refuses ``enable()`` so one test cannot accidentally switch
+every default-wired component in the process on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, DefaultDict, List, Type
+
+from repro.obs.events import Event
+
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe fan-out for simulator events."""
+
+    __slots__ = ("enabled", "events_published", "_by_type", "_all")
+
+    def __init__(self, enabled: bool = False) -> None:
+        #: Hot-path flag; publish sites read this before building events.
+        self.enabled = enabled
+        #: Total events published (monotonic; tests and exporters use it
+        #: as a publication sequence number).
+        self.events_published = 0
+        self._by_type: DefaultDict[Type[Event], List[Handler]] = \
+            defaultdict(list)
+        self._all: List[Handler] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(self) -> None:
+        """Turn the stream on (do this before the run starts)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn the stream off; subscriptions are kept."""
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # subscription
+    # ------------------------------------------------------------------
+
+    def subscribe(self, handler: Handler,
+                  *event_types: Type[Event]) -> Handler:
+        """Register ``handler`` for ``event_types`` (or every event).
+
+        Returns the handler so the call can be used as a decorator.
+        """
+        if event_types:
+            for event_type in event_types:
+                self._by_type[event_type].append(handler)
+        else:
+            self._all.append(handler)
+        return handler
+
+    def unsubscribe(self, handler: Handler) -> None:
+        """Remove ``handler`` from every subscription list."""
+        for handlers in self._by_type.values():
+            while handler in handlers:
+                handlers.remove(handler)
+        while handler in self._all:
+            self._all.remove(handler)
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of registered (type, handler) entries."""
+        return (sum(len(h) for h in self._by_type.values())
+                + len(self._all))
+
+    # ------------------------------------------------------------------
+    # publication
+    # ------------------------------------------------------------------
+
+    def publish(self, event: Event) -> None:
+        """Dispatch ``event`` to its type's subscribers, then to the
+        subscribe-to-all handlers.  No-op while disabled."""
+        if not self.enabled:
+            return
+        self.events_published += 1
+        for handler in self._by_type.get(type(event), ()):
+            handler(event)
+        for handler in self._all:
+            handler(event)
+
+
+class _NullBus(EventBus):
+    """The shared default bus: permanently disabled."""
+
+    __slots__ = ()
+
+    def enable(self) -> None:
+        raise RuntimeError(
+            "NULL_BUS is the shared disabled default; create your own "
+            "EventBus() (or pass one to build_sm) to collect events")
+
+
+#: Default bus for components built outside an SM.  Never enabled.
+NULL_BUS = _NullBus()

@@ -1,0 +1,94 @@
+"""Run provenance: what exactly ran, and how fast.
+
+A :class:`RunManifest` pins one simulation to its exact inputs — the
+benchmark, technique, seed, scale and a stable hash of every config
+object — and records the wall-clock cost per phase plus the simulated
+cycles/second throughput.  The memoising
+:class:`~repro.harness.experiment.ExperimentRunner` writes one manifest
+per *uncached* run, which gives every future performance PR a measured
+baseline instead of anecdotes, and lets a regression be attributed to a
+run's exact configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+
+def config_hash(*objects: object) -> str:
+    """Stable short hash over configuration objects.
+
+    Uses each object's ``repr`` — the config dataclasses in this repo
+    (``SMConfig``, ``GatingParams``, ``AdaptiveConfig``, ...) all have
+    value-complete reprs — hashed with SHA-256 and truncated to 12 hex
+    chars, enough to tell configurations apart at a glance.
+    """
+    digest = hashlib.sha256()
+    for obj in objects:
+        digest.update(repr(obj).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:12]
+
+
+@dataclass
+class RunManifest:
+    """Provenance + throughput record of one simulation run."""
+
+    benchmark: str
+    technique: str
+    seed: int
+    scale: float
+    config_hash: str
+    cycles: int
+    instructions: int
+    #: Wall-clock seconds per phase, e.g. {"build_trace": .., "simulate": ..}.
+    wall_seconds: Dict[str, float] = field(default_factory=dict)
+    events_published: int = 0
+    created_at: float = field(default_factory=time.time)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed wall-clock across the recorded phases."""
+        return sum(self.wall_seconds.values())
+
+    @property
+    def cycles_per_sec(self) -> float:
+        """Simulated-cycle throughput of the simulate phase."""
+        simulate = self.wall_seconds.get("simulate", 0.0)
+        return self.cycles / simulate if simulate > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (includes the derived throughput)."""
+        return {
+            "benchmark": self.benchmark,
+            "technique": self.technique,
+            "seed": self.seed,
+            "scale": self.scale,
+            "config_hash": self.config_hash,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "wall_seconds": dict(self.wall_seconds),
+            "total_seconds": self.total_seconds,
+            "cycles_per_sec": self.cycles_per_sec,
+            "events_published": self.events_published,
+            "created_at": self.created_at,
+        }
+
+
+def write_manifests(manifests: Sequence[RunManifest],
+                    path: Union[str, Path]) -> None:
+    """Write a manifest list as a JSON document."""
+    document = {"manifests": [m.to_dict() for m in manifests]}
+    Path(path).write_text(json.dumps(document, indent=2),
+                          encoding="utf-8")
+
+
+def load_manifests(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read back records written by :func:`write_manifests`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return document["manifests"]

@@ -29,6 +29,8 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.bus import NULL_BUS, EventBus
+from repro.obs.events import BlackoutBlocked, GateOff, GateOn, Wakeup
 from repro.power.params import GatingParams
 
 
@@ -61,6 +63,25 @@ class GatingStats:
     waking_cycles: int = 0
     on_cycles: int = 0
     denied_wakeups: int = 0
+
+    #: Counter names as exported into the metrics registry, in field
+    #: order; the registry view and this dataclass stay in lockstep.
+    METRIC_NAMES = (
+        "gating_events", "wakeups", "wakeups_uncompensated",
+        "critical_wakeups", "gated_cycles", "compensated_cycles",
+        "uncompensated_cycles", "waking_cycles", "on_cycles",
+        "denied_wakeups",
+    )
+
+    def export_metrics(self, registry, domain: str) -> None:
+        """Publish these counters into a metrics registry.
+
+        Each field becomes ``<field>{domain="<name>"}``, making the
+        registry the unified read side while this dataclass stays the
+        hot-path storage.
+        """
+        for name in self.METRIC_NAMES:
+            registry.counter(name, domain=domain).inc(getattr(self, name))
 
 
 class GatingPolicy:
@@ -97,10 +118,15 @@ class GatingDomain:
     """One power-gated unit cluster and its controller."""
 
     def __init__(self, name: str, params: GatingParams,
-                 policy: GatingPolicy) -> None:
+                 policy: GatingPolicy,
+                 bus: Optional[EventBus] = None) -> None:
         self.name = name
         self.params = params
         self.policy = policy
+        #: Observability bus; the SM rebinds this to its own bus when the
+        #: domain is attached (``attach_domain``), so domains built
+        #: standalone default to the shared disabled bus.
+        self.bus = bus if bus is not None else NULL_BUS
         #: Current idle-detect window; Adaptive idle-detect mutates this
         #: at epoch boundaries (the paper's incrementable register).
         self.idle_detect = params.idle_detect
@@ -169,6 +195,9 @@ class GatingDomain:
             return False
         if not self.policy.may_wake(self, cycle):
             self.stats.denied_wakeups += 1
+            if self.bus.enabled:
+                self.bus.publish(BlackoutBlocked(
+                    cycle, self.name, self.blackout_remaining(cycle)))
             return False
         self._wake(cycle)
         return False
@@ -187,6 +216,12 @@ class GatingDomain:
         self._gated_since = None
         self._wake_done = cycle + self.wakeup_delay
         self.idle_counter = 0
+        if self.bus.enabled:
+            self.bus.publish(GateOff(cycle, self.name, gated_len,
+                                     compensated=gated_len >= self.bet))
+            self.bus.publish(Wakeup(cycle, self.name,
+                                    critical=gated_len == self.bet,
+                                    delay=self.wakeup_delay))
 
     # ------------------------------------------------------------------
     # per-cycle update (after issue, once pipeline occupancy is known)
@@ -222,6 +257,8 @@ class GatingDomain:
         self._gated_since = cycle + 1
         self.stats.gating_events += 1
         self.idle_counter = 0
+        if self.bus.enabled:
+            self.bus.publish(GateOn(cycle, self.name))
 
     # ------------------------------------------------------------------
     # end of run
@@ -239,6 +276,10 @@ class GatingDomain:
         self.stats.uncompensated_cycles += min(gated_len, self.bet)
         self.stats.compensated_cycles += max(0, gated_len - self.bet)
         self._gated_since = None
+        if self.bus.enabled:
+            self.bus.publish(GateOff(end_cycle, self.name, gated_len,
+                                     compensated=gated_len >= self.bet,
+                                     final=True))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"GatingDomain({self.name}, policy={self.policy.name}, "

@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence
 
 from repro.isa.instructions import Instruction
 from repro.isa.optypes import OpClass
+from repro.obs.bus import NULL_BUS, EventBus
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,11 @@ class WarpScheduler(abc.ABC):
 
     #: Display name used in experiment records.
     name = "abstract"
+
+    #: Observability bus.  The SM rebinds this to its own bus at
+    #: construction; the class-level default keeps standalone scheduler
+    #: instances (unit tests) publishing into the shared disabled bus.
+    bus: EventBus = NULL_BUS
 
     @abc.abstractmethod
     def order(self, cycle: int, candidates: Sequence[IssueCandidate],

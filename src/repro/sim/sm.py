@@ -25,12 +25,15 @@ paper — and every ablation — runs on the identical substrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.isa.instructions import Instruction
 from repro.isa.optypes import ExecUnitKind, OpClass, UNIT_FOR_OP_CLASS
 from repro.isa.trace import KernelTrace
+from repro.obs.bus import EventBus
+from repro.obs.events import IssueStall, KernelBoundary
+from repro.obs.metrics import MetricsRegistry
 from repro.power.energy import DomainEnergy
 from repro.power.gating import DomainState, GatingDomain, GatingStats
 from repro.sim.config import SMConfig
@@ -84,6 +87,9 @@ class SimResult:
     pipeline_lane_work: Dict[str, float]
     pipelines_by_kind: Dict[ExecUnitKind, Tuple[str, ...]]
     warp_records: Tuple[WarpRecord, ...] = ()
+    #: Unified flat metrics view: every legacy counter re-expressed as
+    #: ``name{label="value"}`` keys (see :mod:`repro.obs.metrics`).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def pipeline_names(self, kind: ExecUnitKind) -> Tuple[str, ...]:
         """Names of the pipelines of one unit kind."""
@@ -168,7 +174,8 @@ class StreamingMultiprocessor:
                  scheduler: WarpScheduler,
                  dram_latency: Optional[int] = None,
                  technique: str = "baseline",
-                 kernel_gap_cycles: int = 0) -> None:
+                 kernel_gap_cycles: int = 0,
+                 bus: Optional[EventBus] = None) -> None:
         if isinstance(kernel, KernelTrace):
             self.kernels: List[KernelTrace] = [kernel]
         else:
@@ -179,6 +186,11 @@ class StreamingMultiprocessor:
         self.config = config
         self.scheduler = scheduler
         self.technique = technique
+        #: The SM's event bus — disabled by default (zero cost); enable
+        #: before run() and subscribe exporters to collect the stream.
+        #: Domains attached later and the scheduler share this instance.
+        self.bus = bus if bus is not None else EventBus(enabled=False)
+        scheduler.bus = self.bus
         self.memory = MemorySubsystem(config.memory, dram_latency)
         self.fetch = FetchEngine(config.fetch_width, config.ibuffer_entries)
 
@@ -219,6 +231,7 @@ class StreamingMultiprocessor:
         self.actv_counts: Dict[OpClass, int] = {cls: 0 for cls in OpClass}
         self._retry: List[Tuple[int, Instruction]] = []
         self._ran = False
+        self._kernel_index_seen = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -234,6 +247,7 @@ class StreamingMultiprocessor:
         if pipeline_name not in {p.name for p in self.pipelines}:
             raise KeyError(f"no pipeline named {pipeline_name!r}")
         self.domains[pipeline_name] = domain
+        domain.bus = self.bus
 
     def add_hook(self, hook: CycleHook) -> None:
         """Register a per-cycle hook (runs after the PG update)."""
@@ -254,6 +268,8 @@ class StreamingMultiprocessor:
                                "build a fresh SM for another run")
         self._ran = True
         self.scheduler.reset()
+        if self.bus.enabled:
+            self.bus.publish(KernelBoundary(0, self.kernel.name, 0))
         cycle = 0
         while not self._drained():
             if cycle >= self.config.max_cycles:
@@ -358,6 +374,12 @@ class StreamingMultiprocessor:
                 self._launch_cycles[warp.slot] = cycle
                 self._age_counter += 1
                 resident += 1
+            if self.bus.enabled:
+                index = getattr(self.launcher, "current_kernel_index", 0)
+                if index != self._kernel_index_seen:
+                    self._kernel_index_seen = index
+                    self.bus.publish(KernelBoundary(
+                        cycle, self.kernels[index].name, index))
 
     # ------------------------------------------------------------------
     # stage 4: active/pending classification
@@ -428,8 +450,11 @@ class StreamingMultiprocessor:
             self.scheduler.on_issue(cycle, candidate)
             issued += 1
         if issued < self.config.issue_width and not ordered:
-            self.stats.stalls.no_ready_warp += \
-                self.config.issue_width - issued
+            empty_slots = self.config.issue_width - issued
+            self.stats.stalls.no_ready_warp += empty_slots
+            if self.bus.enabled:
+                for _ in range(empty_slots):
+                    self.bus.publish(IssueStall(cycle, "no_ready_warp"))
 
     def _acquire_unit(self, cycle: int, op_class: OpClass,
                       warp_slot: int) -> Optional[ExecPipeline]:
@@ -446,6 +471,7 @@ class StreamingMultiprocessor:
         if kind is ExecUnitKind.LDST and self._retry:
             # MSHR back-pressure holds the LDST port for retries.
             self.stats.stalls.mshr_full += 1
+            self._publish_stall(cycle, "mshr_full")
             return None
         pipes = self._by_kind[kind]
         pipe = pipes[warp_slot % len(pipes)]
@@ -453,17 +479,25 @@ class StreamingMultiprocessor:
         if domain is not None and not domain.available_for_issue(cycle):
             if domain.state(cycle) is DomainState.WAKING:
                 self.stats.stalls.unit_waking += 1
+                self._publish_stall(cycle, "unit_waking")
                 return None
             domain.request_wakeup(cycle)
             if domain.is_gated(cycle):
                 self.stats.stalls.unit_gated += 1
+                self._publish_stall(cycle, "unit_gated")
             else:
                 self.stats.stalls.unit_waking += 1
+                self._publish_stall(cycle, "unit_waking")
             return None
         if not pipe.port_available(cycle):
             self.stats.stalls.structural += 1
+            self._publish_stall(cycle, "structural")
             return None
         return pipe
+
+    def _publish_stall(self, cycle: int, reason: str) -> None:
+        if self.bus.enabled:
+            self.bus.publish(IssueStall(cycle, reason))
 
     # ------------------------------------------------------------------
     # stage 6: power-gating update
@@ -495,6 +529,15 @@ class StreamingMultiprocessor:
             domain.finalize(cycles)
         name = "+".join(k.name for k in self.kernels) \
             if len(self.kernels) > 1 else self.kernel.name
+        registry = MetricsRegistry()
+        self.stats.export_metrics(registry)
+        for domain_name, domain in self.domains.items():
+            domain.stats.export_metrics(registry, domain=domain_name)
+            registry.gauge("idle_detect",
+                           domain=domain_name).set(domain.idle_detect)
+        for pipe in self.pipelines:
+            registry.counter("pipeline_issues",
+                             unit=pipe.name).inc(pipe.issued_count)
         return SimResult(
             kernel_name=name,
             technique=self.technique,
@@ -511,4 +554,5 @@ class StreamingMultiprocessor:
             pipelines_by_kind={
                 kind: tuple(p.name for p in pipes)
                 for kind, pipes in self._by_kind.items()},
+            metrics=registry.as_flat_dict(),
         )

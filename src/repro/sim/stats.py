@@ -37,9 +37,26 @@ class IdlePeriodTracker:
         self._current_run = 0
         self.busy_cycles = 0
         self.idle_cycles = 0
+        self._finalized = False
+
+    @property
+    def finalized(self) -> bool:
+        """True once the books are closed (trailing run flushed)."""
+        return self._finalized
 
     def observe(self, busy: bool) -> None:
-        """Record one cycle of pipeline state."""
+        """Record one cycle of pipeline state.
+
+        Raises RuntimeError after :meth:`finalize` — a late observation
+        would silently split the trailing idle period into two histogram
+        entries and corrupt the Figure 3 distribution, so it fails loudly
+        instead.
+        """
+        if self._finalized:
+            raise RuntimeError(
+                "IdlePeriodTracker.observe() after finalize(): the "
+                "trailing idle period is already flushed; build a fresh "
+                "tracker for a new run")
         if busy:
             self.busy_cycles += 1
             if self._current_run:
@@ -51,7 +68,15 @@ class IdlePeriodTracker:
             self._current_run += 1
 
     def finalize(self) -> None:
-        """Flush a trailing idle run at end of simulation."""
+        """Flush a trailing idle run at end of simulation.
+
+        Explicitly idempotent: the harness and the timeline/analysis
+        paths may both finalize the same run, and the second (and any
+        later) call must not touch the histogram.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
         if self._current_run:
             self.histogram[self._current_run] = \
                 self.histogram.get(self._current_run, 0) + 1
@@ -65,6 +90,16 @@ class IdlePeriodTracker:
     def recorded_idle_cycles(self) -> int:
         """Idle cycles accounted in completed periods (invariant hook)."""
         return sum(length * count for length, count in self.histogram.items())
+
+    def export_metrics(self, registry, unit: str) -> None:
+        """Publish this tracker into a metrics registry: busy/idle
+        cycle counters plus the idle-period length histogram, all
+        labelled ``unit="<pipeline>"``."""
+        registry.counter("busy_cycles", unit=unit).inc(self.busy_cycles)
+        registry.counter("idle_cycles", unit=unit).inc(self.idle_cycles)
+        histogram = registry.histogram("idle_period_length", unit=unit)
+        for length, count in self.histogram.items():
+            histogram.observe(length, count)
 
 
 @dataclass
@@ -130,6 +165,31 @@ class SMStats:
         """Flush open idle runs at end of run."""
         for tracker in self.idle_trackers.values():
             tracker.finalize()
+
+    def export_metrics(self, registry) -> None:
+        """Publish the SM-level counters into a metrics registry.
+
+        Together with :meth:`GatingStats.export_metrics` and
+        :meth:`IdlePeriodTracker.export_metrics` this makes the registry
+        a complete, unified view over the run's legacy counters.
+        """
+        registry.counter("sim_cycles").inc(self.cycles)
+        registry.counter("instructions_issued").inc(self.instructions_issued)
+        registry.counter("instructions_retired").inc(
+            self.instructions_retired)
+        registry.counter("instructions_fetched").inc(self.fetched)
+        for cls, count in self.issued_by_class.items():
+            registry.counter("issued", op_class=cls.name).inc(count)
+        for reason in ("no_ready_warp", "structural", "unit_gated",
+                       "unit_waking", "mshr_full"):
+            registry.counter("issue_stalls", reason=reason).inc(
+                getattr(self.stalls, reason))
+        registry.gauge("avg_active_warps").set(self.avg_active_warps)
+        registry.gauge("avg_pending_warps").set(self.avg_pending_warps)
+        registry.gauge("max_active_warps").set(self.active_warp_max)
+        registry.gauge("ipc").set(self.ipc)
+        for name, tracker in self.idle_trackers.items():
+            tracker.export_metrics(registry, unit=name)
 
     def idle_fraction(self, pipeline_names: List[str]) -> float:
         """Idle cycles / total cycles, averaged over ``pipeline_names``.

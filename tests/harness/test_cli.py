@@ -106,6 +106,27 @@ class TestCommands:
         for line in baseline_rows:
             assert line.rstrip().endswith("1.000")
 
+    def test_run_with_observability_flags(self, capsys, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        trace_path = tmp_path / "trace.json"
+        code = main(["--scale", "0.2", "--benchmarks", "hotspot",
+                     "run", "hotspot", "warped_gates",
+                     "--emit-events", str(events_path),
+                     "--emit-chrome-trace", str(trace_path),
+                     "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Run manifests" in out
+        assert "cycles/s" in out
+
+        from repro.obs.exporters import (load_jsonl_events,
+                                         validate_chrome_trace)
+        records = load_jsonl_events(events_path)
+        assert records and all("event" in r for r in records)
+        document = json.loads(trace_path.read_text())
+        validate_chrome_trace(document)
+        assert "end_cycle" in document["otherData"]
+
     def test_fig6_figure(self, capsys):
         code = main(["--scale", "0.15", "--benchmarks", "hotspot",
                      "figure", "fig6"])

@@ -1,0 +1,101 @@
+"""Tests for the event bus: dispatch, ordering, disabled fast path."""
+
+import pytest
+
+from repro.obs.bus import NULL_BUS, EventBus
+from repro.obs.events import GateOff, GateOn, IssueStall, Wakeup
+
+
+class TestDispatch:
+    def test_typed_subscription_receives_only_its_type(self):
+        bus = EventBus(enabled=True)
+        seen = []
+        bus.subscribe(seen.append, GateOn)
+        bus.publish(GateOn(1, "INT0"))
+        bus.publish(IssueStall(2, "structural"))
+        assert seen == [GateOn(1, "INT0")]
+
+    def test_subscribe_all_receives_everything(self):
+        bus = EventBus(enabled=True)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish(GateOn(1, "INT0"))
+        bus.publish(IssueStall(2, "structural"))
+        assert [e.type_name for e in seen] == ["GateOn", "IssueStall"]
+
+    def test_publication_order_is_preserved(self):
+        bus = EventBus(enabled=True)
+        seen = []
+        bus.subscribe(seen.append)
+        events = [GateOn(5, "FP0"),
+                  GateOff(9, "FP0", gated_cycles=3, compensated=False),
+                  Wakeup(9, "FP0", critical=False, delay=3)]
+        for event in events:
+            bus.publish(event)
+        assert seen == events
+        assert bus.events_published == 3
+
+    def test_typed_handlers_run_before_all_handlers(self):
+        bus = EventBus(enabled=True)
+        order = []
+        bus.subscribe(lambda e: order.append("all"))
+        bus.subscribe(lambda e: order.append("typed"), GateOn)
+        bus.publish(GateOn(0, "INT0"))
+        assert order == ["typed", "all"]
+
+    def test_one_handler_many_types(self):
+        bus = EventBus(enabled=True)
+        seen = []
+        bus.subscribe(seen.append, GateOn, GateOff)
+        bus.publish(GateOn(1, "INT0"))
+        bus.publish(GateOff(4, "INT0", gated_cycles=2, compensated=False))
+        bus.publish(IssueStall(5, "mshr_full"))
+        assert len(seen) == 2
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus(enabled=True)
+        seen = []
+        bus.subscribe(seen.append, GateOn)
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.publish(GateOn(1, "INT0"))
+        assert seen == []
+        assert bus.subscriber_count == 0
+
+
+class TestDisabled:
+    def test_disabled_bus_publishes_nothing(self):
+        bus = EventBus()  # disabled by default
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish(GateOn(1, "INT0"))
+        assert seen == []
+        assert bus.events_published == 0
+
+    def test_enable_disable_roundtrip(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.enable()
+        bus.publish(GateOn(1, "INT0"))
+        bus.disable()
+        bus.publish(GateOn(2, "INT0"))
+        assert [e.cycle for e in seen] == [1]
+
+    def test_null_bus_refuses_enable(self):
+        with pytest.raises(RuntimeError):
+            NULL_BUS.enable()
+        assert not NULL_BUS.enabled
+
+    def test_disabled_publish_is_a_cheap_noop(self):
+        # The no-op fast path: a disabled bus must not touch its
+        # subscriber tables at all, however many handlers exist.
+        bus = EventBus()
+        calls = []
+        for _ in range(100):
+            bus.subscribe(calls.append, GateOn)
+        event = GateOn(0, "INT0")
+        for _ in range(1000):
+            bus.publish(event)
+        assert calls == []
+        assert bus.events_published == 0

@@ -1,0 +1,153 @@
+"""Tests for the JSONL event log and Chrome trace exporter."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    BlackoutBlocked,
+    EpochAdapt,
+    GateOff,
+    GateOn,
+    KernelBoundary,
+    PriorityFlip,
+    Wakeup,
+)
+from repro.obs.exporters import (
+    ChromeTraceExporter,
+    JsonlEventLog,
+    load_jsonl_events,
+    validate_chrome_trace,
+)
+
+
+def _drive(bus):
+    """A short synthetic gating story on two domains."""
+    bus.publish(GateOn(10, "INT0"))
+    bus.publish(BlackoutBlocked(12, "FP0", remaining=4))
+    bus.publish(PriorityFlip(15, "FP", reason="drained"))
+    bus.publish(GateOff(25, "INT0", gated_cycles=14, compensated=True))
+    bus.publish(Wakeup(25, "INT0", critical=True, delay=3))
+    bus.publish(GateOn(30, "FP0"))
+    bus.publish(EpochAdapt(32, "FP", epoch=0, critical_wakeups=1,
+                           idle_detect=7))
+    bus.publish(GateOff(36, "FP0", gated_cycles=5, compensated=False,
+                        final=True))
+    bus.publish(KernelBoundary(0, "k0", 0))
+
+
+class TestJsonlEventLog:
+    def test_round_trips_through_file(self, tmp_path):
+        bus = EventBus(enabled=True)
+        path = tmp_path / "events.jsonl"
+        log = JsonlEventLog(path).attach(bus)
+        _drive(bus)
+        log.close()
+        records = load_jsonl_events(path)
+        assert log.events_written == 9
+        assert len(records) == 9
+        assert records[0] == {"event": "GateOn", "cycle": 10,
+                              "domain": "INT0"}
+        assert records[3]["gated_cycles"] == 14
+        assert records[3]["compensated"] is True
+
+    def test_stream_target_and_detach(self):
+        bus = EventBus(enabled=True)
+        stream = io.StringIO()
+        log = JsonlEventLog(stream).attach(bus)
+        bus.publish(GateOn(1, "INT0"))
+        log.close()
+        bus.publish(GateOn(2, "INT0"))  # after close: not recorded
+        lines = [json.loads(l) for l in stream.getvalue().splitlines()]
+        assert [r["cycle"] for r in lines] == [1]
+
+    def test_every_record_names_its_event(self, tmp_path):
+        bus = EventBus(enabled=True)
+        path = tmp_path / "events.jsonl"
+        log = JsonlEventLog(path).attach(bus)
+        _drive(bus)
+        log.close()
+        assert all("event" in r and "cycle" in r
+                   for r in load_jsonl_events(path))
+
+
+class TestChromeTraceExporter:
+    def _trace(self):
+        bus = EventBus(enabled=True)
+        trace = ChromeTraceExporter().attach(bus)
+        _drive(bus)
+        return trace
+
+    def test_document_is_valid_chrome_trace(self):
+        document = self._trace().to_document()
+        validate_chrome_trace(document)  # must not raise
+        json.dumps(document)  # and must be serialisable
+
+    def test_gated_spans_reconstructed_exactly(self):
+        trace = self._trace()
+        spans = [e for e in trace.to_document()["traceEvents"]
+                 if e.get("name") == "gated"]
+        # GateOn(10) .. GateOff(25, gated_cycles=14): span is [11, 25).
+        assert spans[0]["ts"] == 11 and spans[0]["dur"] == 14
+        assert spans[1]["ts"] == 31 and spans[1]["dur"] == 5
+        assert trace.gated_span_totals() == {"INT0": 14, "FP0": 5}
+
+    def test_wakeup_emits_span_and_instant(self):
+        events = self._trace().to_document()["traceEvents"]
+        waking = [e for e in events if e.get("name") == "waking"]
+        critical = [e for e in events
+                    if e.get("name") == "critical_wakeup"]
+        assert waking[0]["ts"] == 25 and waking[0]["dur"] == 3
+        assert critical[0]["ph"] == "i"
+
+    def test_thread_metadata_names_each_domain(self):
+        events = self._trace().to_document()["traceEvents"]
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert {"domain INT0", "domain FP0", "scheduler",
+                "repro SM"} <= names
+
+    def test_write_records_end_cycle(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "trace.json"
+        trace.write(path, end_cycle=40)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        validate_chrome_trace(document)
+        assert document["otherData"]["end_cycle"] == 40
+
+    def test_detach_stops_collection(self):
+        bus = EventBus(enabled=True)
+        trace = ChromeTraceExporter().attach(bus)
+        bus.publish(GateOn(1, "INT0"))
+        bus.publish(GateOff(5, "INT0", gated_cycles=3, compensated=False))
+        trace.detach()
+        bus.publish(GateOff(9, "INT0", gated_cycles=2, compensated=False))
+        assert trace.gated_span_totals() == {"INT0": 3}
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"otherData": {}})
+
+    def test_rejects_missing_required_field(self):
+        with pytest.raises(ValueError, match="missing 'ph'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "pid": 0}]})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "Z", "pid": 0,
+                                  "ts": 0}]})
+
+    def test_rejects_x_event_without_duration(self):
+        with pytest.raises(ValueError, match="int dur"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "pid": 0,
+                                  "ts": 0}]})

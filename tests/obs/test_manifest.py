@@ -1,0 +1,67 @@
+"""Tests for run provenance: config hashing and manifests."""
+
+from repro.core.adaptive import AdaptiveConfig
+from repro.obs.manifest import (
+    RunManifest,
+    config_hash,
+    load_manifests,
+    write_manifests,
+)
+from repro.power.params import GatingParams
+from repro.sim.config import SMConfig
+
+
+class TestConfigHash:
+    def test_stable_for_equal_configs(self):
+        assert config_hash(GatingParams(), SMConfig()) == \
+            config_hash(GatingParams(), SMConfig())
+
+    def test_sensitive_to_any_field(self):
+        base = config_hash(GatingParams())
+        assert config_hash(GatingParams(idle_detect=9)) != base
+        assert config_hash(GatingParams(bet=20)) != base
+
+    def test_sensitive_to_argument_order(self):
+        a, b = GatingParams(), AdaptiveConfig()
+        assert config_hash(a, b) != config_hash(b, a)
+
+    def test_short_hex(self):
+        digest = config_hash(SMConfig())
+        assert len(digest) == 12
+        int(digest, 16)
+
+
+def _manifest(**overrides):
+    base = dict(benchmark="hotspot", technique="warped_gates", seed=0,
+                scale=0.5, config_hash="abc123def456", cycles=10_000,
+                instructions=4_000,
+                wall_seconds={"build_trace": 0.5, "simulate": 2.0},
+                events_published=17)
+    base.update(overrides)
+    return RunManifest(**base)
+
+
+class TestRunManifest:
+    def test_derived_throughput(self):
+        manifest = _manifest()
+        assert manifest.total_seconds == 2.5
+        assert manifest.cycles_per_sec == 5_000.0
+
+    def test_zero_simulate_time_is_safe(self):
+        manifest = _manifest(wall_seconds={})
+        assert manifest.cycles_per_sec == 0.0
+        assert manifest.total_seconds == 0.0
+
+    def test_to_dict_includes_derived_fields(self):
+        record = _manifest().to_dict()
+        assert record["cycles_per_sec"] == 5_000.0
+        assert record["total_seconds"] == 2.5
+        assert record["benchmark"] == "hotspot"
+
+    def test_round_trips_through_file(self, tmp_path):
+        manifests = [_manifest(), _manifest(benchmark="bfs", cycles=7)]
+        path = tmp_path / "manifests.json"
+        write_manifests(manifests, path)
+        loaded = load_manifests(path)
+        assert [m["benchmark"] for m in loaded] == ["hotspot", "bfs"]
+        assert loaded[0]["events_published"] == 17

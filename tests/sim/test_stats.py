@@ -38,6 +38,34 @@ class TestIdlePeriodTracker:
         tracker.finalize()
         assert tracker.histogram == {1: 1}
 
+    def test_double_finalize_never_splits_trailing_period(self):
+        # Regression: harness and timeline/analysis paths may both
+        # finalize the same run; the trailing idle period must land in
+        # the Figure 3 histogram exactly once, as one period.
+        tracker = IdlePeriodTracker()
+        for busy in [True, False, False, False]:
+            tracker.observe(busy)
+        tracker.finalize()
+        assert tracker.finalized
+        for _ in range(3):
+            tracker.finalize()
+        assert tracker.histogram == {3: 1}
+        assert tracker.total_periods == 1
+        assert tracker.recorded_idle_cycles() == tracker.idle_cycles
+
+    def test_observe_after_finalize_raises(self):
+        tracker = IdlePeriodTracker()
+        tracker.observe(False)
+        tracker.finalize()
+        with pytest.raises(RuntimeError):
+            tracker.observe(False)
+        with pytest.raises(RuntimeError):
+            tracker.observe(True)
+        # The failed observations left the books untouched.
+        assert tracker.histogram == {1: 1}
+        assert tracker.idle_cycles == 1
+        assert tracker.busy_cycles == 0
+
     def test_invariant_idle_cycles_equal_histogram_mass(self):
         tracker = IdlePeriodTracker()
         pattern = [False, False, True, False, True, True, False, False,
