@@ -24,11 +24,19 @@ def pytest_addoption(parser):
     parser.addoption("--figure-scale", action="store", type=float,
                      default=0.5,
                      help="workload scale for figure regeneration")
+    parser.addoption("--engine-jobs", action="store", type=int,
+                     default=2,
+                     help="worker processes for the engine benchmark")
 
 
 @pytest.fixture(scope="session")
 def figure_scale(request) -> float:
     return request.config.getoption("--figure-scale")
+
+
+@pytest.fixture(scope="session")
+def engine_jobs(request) -> int:
+    return request.config.getoption("--engine-jobs")
 
 
 @pytest.fixture(scope="session")

@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--benchmarks", metavar="NAME[,NAME...]",
                         default=None,
                         help="comma-separated benchmark subset")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the experiment grid "
+                             "(default 1 = in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent .repro-cache/ "
+                             "result/trace cache")
+    parser.add_argument("--no-fast-forward", action="store_true",
+                        help="disable the idle-cycle fast-forward "
+                             "(results are bit-identical either way)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmarks and techniques")
@@ -135,10 +144,22 @@ def _parse_benchmarks(raw: Optional[str]) -> Tuple[str, ...]:
     return names
 
 
+def _engine(args: argparse.Namespace):
+    """Build the parallel engine the global flags describe."""
+    from repro.engine import ParallelEngine
+    from repro.engine.cache import DEFAULT_CACHE_DIR
+
+    return ParallelEngine(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else DEFAULT_CACHE_DIR,
+        fast_forward=not args.no_fast_forward)
+
+
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
     return ExperimentRunner(ExperimentSettings(
         seed=args.seed, scale=args.scale,
-        benchmarks=_parse_benchmarks(args.benchmarks)))
+        benchmarks=_parse_benchmarks(args.benchmarks)),
+        engine=_engine(args))
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -175,7 +196,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     runner = ExperimentRunner(ExperimentSettings(
         seed=args.seed, scale=args.scale,
-        benchmarks=_parse_benchmarks(args.benchmarks)), bus=bus)
+        benchmarks=_parse_benchmarks(args.benchmarks)), bus=bus,
+        engine=None if instrument else _engine(args))
     technique = Technique(args.technique)
     result = runner.run(args.benchmark, technique)
     if bus is not None:
@@ -301,7 +323,8 @@ def cmd_replicate(args: argparse.Namespace) -> int:
 
     settings = ExperimentSettings(
         scale=args.scale, benchmarks=_parse_benchmarks(args.benchmarks))
-    results = replicate(settings, seeds=tuple(range(args.seeds)))
+    results = replicate(settings, seeds=tuple(range(args.seeds)),
+                        engine=_engine(args))
     print(format_table(REPLICATION_HEADERS, replication_rows(results),
                        title=f"Headline metrics over {args.seeds} seeds"))
     return 0

@@ -96,6 +96,11 @@ class AdaptiveIdleDetect:
         self._next_epoch_end += self.config.epoch_cycles
         self._close_epoch(cycle)
 
+    def idle_next_event(self, cycle: int) -> int:
+        """Fast-forward bound: the epoch-closing cycle must be real-
+        stepped so ``_close_epoch`` runs at exactly the serial cycle."""
+        return self._next_epoch_end - 1
+
     # ------------------------------------------------------------------
 
     def _close_epoch(self, cycle: int) -> None:

@@ -42,6 +42,15 @@ class NaiveBlackoutPolicy(GatingPolicy):
     def may_wake(self, domain: GatingDomain, cycle: int) -> bool:
         return domain.gated_length(cycle) >= domain.bet
 
+    def idle_cycles_until_gate(self, domain: GatingDomain,
+                               cycle: int) -> Optional[float]:
+        """Idle cycles until the gate fires (fast-forward planning).
+
+        Same trigger as ConventionalPolicy (the difference is wake
+        side only), and observe() increments before checking.
+        """
+        return max(0, domain.idle_detect - domain.idle_counter - 1)
+
 
 class CoordinatedBlackoutPolicy(GatingPolicy):
     """Cluster-coordinated Blackout.
@@ -107,3 +116,16 @@ class CoordinatedBlackoutPolicy(GatingPolicy):
 
     def may_wake(self, domain: GatingDomain, cycle: int) -> bool:
         return domain.gated_length(cycle) >= domain.bet
+
+    def idle_cycles_until_gate(self, domain: GatingDomain,
+                               cycle: int) -> Optional[float]:
+        """Idle cycles until the gate fires (fast-forward planning).
+
+        Both inputs of want_gate (peer gating state, active-subset
+        occupancy) are frozen over a fast-forward span: peer
+        transitions are real-stepped via next_idle_event and the
+        active counts cannot change while every warp is stalled.
+        """
+        if self.any_peer_gated(domain, cycle):
+            return 0 if self._actv_count() == 0 else float("inf")
+        return max(0, domain.idle_detect - domain.idle_counter - 1)

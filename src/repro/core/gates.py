@@ -54,6 +54,12 @@ class GatesScheduler(WarpScheduler):
         #: When True, consult the view's per-type blackout status for the
         #: extended priority switch (enabled for Blackout techniques).
         self.blackout_aware = blackout_aware
+        # Idle fast-forward: on no-ready cycles ``order`` only runs
+        # ``_update_priority``, whose drained/blackout triggers are
+        # exposed through ``idle_flip_pending`` (the planner real-steps
+        # those cycles).  The timeout trigger depends on wall cycle
+        # count, so a timeout-bounded GATES cannot be skipped.
+        self.supports_idle_skip = max_priority_cycles is None
         self._highest = OpClass.INT
         self._last_slot = n_slots - 1
         self._priority_since = 0
@@ -84,6 +90,17 @@ class GatesScheduler(WarpScheduler):
         self._last_slot = self.n_slots - 1
         self._priority_since = 0
         self.priority_switches = 0
+
+    def idle_flip_pending(self, cycle: int, view: SchedulerView) -> bool:
+        """Would ``_update_priority`` flip given ``view``, ignoring the
+        timeout trigger?  (``supports_idle_skip`` is False whenever the
+        timeout trigger is armed, so it never fires on a skipped span.)"""
+        hi = self._highest
+        lo = OpClass.FP if hi is OpClass.INT else OpClass.INT
+        if view.actv_counts[hi] == 0 and view.actv_counts[lo] > 0:
+            return True
+        return (self.blackout_aware and view.type_in_blackout[hi]
+                and not view.type_in_blackout[lo])
 
     # ------------------------------------------------------------------
     # priority logic

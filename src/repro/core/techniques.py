@@ -116,7 +116,8 @@ def build_sm(kernel, config: TechniqueConfig,
              sm_config: Optional[SMConfig] = None,
              dram_latency: Optional[int] = None,
              kernel_gap_cycles: int = 0,
-             bus: Optional["EventBus"] = None) -> StreamingMultiprocessor:
+             bus: Optional["EventBus"] = None,
+             fast_forward: bool = False) -> StreamingMultiprocessor:
     """Assemble an SM wired for one technique.
 
     ``kernel`` is a :class:`KernelTrace` or a sequence of them (run
@@ -128,6 +129,12 @@ def build_sm(kernel, config: TechniqueConfig,
     ``bus`` is an optional observability bus shared by the SM, its
     gating domains, the scheduler and the epoch hooks; omitted, the SM
     creates its own disabled one (reachable as ``sm.bus``).
+
+    ``fast_forward`` enables the idle-cycle fast-forward
+    (:mod:`repro.sim.fastforward`) — bit-identical results, skipping
+    provably-quiet idle spans.  Off by default so direct ``build_sm``
+    users (golden tests, examples) exercise the plain cycle loop; the
+    parallel engine turns it on.
     """
     sm_config = sm_config or SMConfig()
     technique = config.technique
@@ -153,7 +160,7 @@ def build_sm(kernel, config: TechniqueConfig,
                                  dram_latency=dram_latency,
                                  technique=technique.value,
                                  kernel_gap_cycles=kernel_gap_cycles,
-                                 bus=bus)
+                                 bus=bus, fast_forward=fast_forward)
     if isinstance(scheduler, CCWSScheduler):
         # Wire the lost-locality feedback loop: the memory path feeds
         # the monitor, a cycle hook decays its scores.
@@ -206,7 +213,8 @@ def _actv_reader(sm: StreamingMultiprocessor, cls: OpClass):
 def run_benchmark(name: str, config: TechniqueConfig,
                   sm_config: Optional[SMConfig] = None,
                   seed: int = 0, scale: float = 1.0,
-                  bus: Optional["EventBus"] = None) -> SimResult:
+                  bus: Optional["EventBus"] = None,
+                  fast_forward: bool = False) -> SimResult:
     """Build, wire and run one benchmark under one technique.
 
     Uses the benchmark profile's DRAM latency; the trace for a given
@@ -216,5 +224,6 @@ def run_benchmark(name: str, config: TechniqueConfig,
     kernel = build_kernel(name, seed=seed, scale=scale)
     profile = get_profile(name)
     sm = build_sm(kernel, config, sm_config=sm_config,
-                  dram_latency=profile.dram_latency, bus=bus)
+                  dram_latency=profile.dram_latency, bus=bus,
+                  fast_forward=fast_forward)
     return sm.run()

@@ -1,0 +1,42 @@
+"""Parallel execution engine: process-pool fan-out, persistent caching.
+
+The experiment grid — (benchmark × technique × seed) cells, and the
+per-SM parts of a multi-SM :class:`~repro.sim.gpu.GPU` run — is
+embarrassingly parallel: every cell is a pure function of a picklable
+job spec.  This package exploits that structure:
+
+* :mod:`repro.engine.jobs` — frozen job specs (:class:`SimJob`,
+  :class:`SMPartJob`) and the top-level worker functions that execute
+  them, including the on-disk kernel-trace memoisation;
+* :mod:`repro.engine.cache` — the persistent ``.repro-cache/`` store,
+  keyed by the :func:`repro.obs.manifest.config_hash` machinery;
+* :mod:`repro.engine.pool` — :class:`ParallelEngine`, the
+  ``ProcessPoolExecutor`` wrapper that fans jobs out and collects
+  results in submission order, so aggregated output is bit-identical
+  to a serial run.
+
+The harness (:mod:`repro.harness.experiment`) and the CLI's
+``--jobs`` / ``--no-cache`` flags are the user-facing surface.
+"""
+
+from repro.engine.cache import RunCache
+from repro.engine.jobs import (
+    JobOutcome,
+    SimJob,
+    SMPartJob,
+    execute_job,
+    execute_sm_part,
+    load_or_build_kernel,
+)
+from repro.engine.pool import ParallelEngine
+
+__all__ = [
+    "JobOutcome",
+    "ParallelEngine",
+    "RunCache",
+    "SimJob",
+    "SMPartJob",
+    "execute_job",
+    "execute_sm_part",
+    "load_or_build_kernel",
+]

@@ -1,0 +1,82 @@
+"""Persistent on-disk result/trace cache under ``.repro-cache/``.
+
+Layout::
+
+    .repro-cache/
+        results/<benchmark>-<technique>-s<seed>-<hash>.pkl
+        traces/<benchmark>-s<seed>-<hash>.pkl
+
+The human-readable filename prefix is cosmetic; the trailing
+``config_hash`` carries the full identity (every config object, the
+seed, the scale, the DRAM latency and a cache-format version salt), so
+any config change — including editing a default inside a dataclass —
+produces a different key and old entries simply stop being hit.
+Invalidation is therefore "delete the directory whenever you feel like
+it": entries are immutable once written.
+
+Writes are atomic (temp file + ``os.replace``) so parallel workers can
+race on the same key safely — last writer wins with an identical
+payload.  A corrupt or unreadable entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Union
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump to orphan every existing entry (cache format change, simulator
+#: semantics change that config hashes cannot see, ...).
+CACHE_VERSION = 1
+
+
+class RunCache:
+    """Pickle-per-entry store with atomic writes and hit/miss counters."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, group: str, key: str) -> Path:
+        """Filesystem location of one entry."""
+        return self.root / group / f"{key}.pkl"
+
+    def get(self, group: str, key: str) -> Optional[Any]:
+        """Load an entry, or None on miss (including corrupt entries)."""
+        path = self.path(group, key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, group: str, key: str, value: Any) -> None:
+        """Store an entry atomically (concurrent writers are safe)."""
+        path = self.path(group, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=f".{key}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RunCache({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses})")

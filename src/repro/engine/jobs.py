@@ -1,0 +1,203 @@
+"""Picklable job specs and the worker functions that execute them.
+
+A worker process receives a frozen job spec (everything needed to
+reproduce one simulation), executes it, and returns the
+:class:`~repro.sim.sm.SimResult` plus a
+:class:`~repro.obs.manifest.RunManifest` provenance record.  Results
+are deterministic functions of the spec — the simulator has no hidden
+global state — which is what makes both the process fan-out and the
+on-disk cache sound.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.adaptive import AdaptiveConfig
+from repro.core.techniques import TechniqueConfig, build_sm
+from repro.engine.cache import CACHE_VERSION, RunCache
+from repro.isa.trace import KernelTrace
+from repro.isa.tracegen import TraceGenerator
+from repro.obs.manifest import RunManifest, config_hash
+from repro.sim.config import SMConfig
+from repro.sim.sm import SimResult
+from repro.workloads.registry import scaled_spec
+from repro.workloads.specs import get_profile
+
+
+def _worker_name() -> str:
+    return multiprocessing.current_process().name
+
+
+# ----------------------------------------------------------------------
+# kernel-trace memoisation
+# ----------------------------------------------------------------------
+
+def trace_cache_key(benchmark: str, seed: int, scale: float) -> str:
+    """Cache key for one generated kernel trace.
+
+    Keyed by the *scaled spec* (not just the name) so editing a
+    benchmark profile invalidates its traces, plus seed and scale.
+    """
+    spec = scaled_spec(get_profile(benchmark).spec, scale)
+    return (f"{benchmark}-s{seed}-"
+            f"{config_hash(spec, seed, scale, CACHE_VERSION)}")
+
+
+def load_or_build_kernel(benchmark: str, seed: int, scale: float,
+                         cache: Optional[RunCache] = None) -> KernelTrace:
+    """Memoised :func:`repro.workloads.registry.build_kernel`.
+
+    With a cache, the generated trace is stored on disk so parallel
+    workers (and later sessions) deserialise instead of regenerating —
+    trace generation is a visible fraction of small-run wall time.
+    """
+    spec = scaled_spec(get_profile(benchmark).spec, scale)
+    if cache is None:
+        return TraceGenerator(spec, seed=seed).generate()
+    key = trace_cache_key(benchmark, seed, scale)
+    kernel = cache.get("traces", key)
+    if kernel is None:
+        kernel = TraceGenerator(spec, seed=seed).generate()
+        cache.put("traces", key, kernel)
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# whole-run jobs (one experiment-grid cell)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimJob:
+    """One (benchmark × technique-config) simulation, fully specified."""
+
+    benchmark: str
+    config: TechniqueConfig
+    sm_config: SMConfig = field(default_factory=SMConfig)
+    seed: int = 0
+    scale: float = 1.0
+    fast_forward: bool = True
+
+    def cache_key(self) -> str:
+        """Result-cache key: human-readable prefix + full config hash.
+
+        ``fast_forward`` is part of the key even though results are
+        bit-identical by contract — a fast-forward bug then cannot
+        poison serially-produced entries (or the other way round).
+        """
+        profile = get_profile(self.benchmark)
+        digest = config_hash(
+            scaled_spec(profile.spec, self.scale), self.config,
+            self.sm_config, self.seed, self.scale, profile.dram_latency,
+            self.fast_forward, CACHE_VERSION)
+        return (f"{self.benchmark}-{self.config.technique.value}"
+                f"-s{self.seed}-{digest}")
+
+
+@dataclass
+class JobOutcome:
+    """What a worker returns for one :class:`SimJob`."""
+
+    result: SimResult
+    manifest: RunManifest
+
+
+def execute_job(job: SimJob,
+                cache_dir: Optional[str] = None) -> JobOutcome:
+    """Execute one grid cell (top-level, hence picklable).
+
+    Checks the result cache first; on a miss, builds the (trace-cached)
+    kernel, wires the SM and runs it, then stores the result.  Either
+    way a :class:`RunManifest` records what happened — cache hits carry
+    ``cache_hit=True`` and a ``cache_load`` wall phase, fresh runs the
+    usual ``build_trace`` / ``simulate`` phases — and ``worker`` names
+    the executing process.
+    """
+    cache = RunCache(cache_dir) if cache_dir else None
+    settings_hash = config_hash(job.config, job.sm_config)
+    key = job.cache_key()
+
+    if cache is not None:
+        t0 = time.perf_counter()
+        result = cache.get("results", key)
+        if result is not None:
+            manifest = RunManifest(
+                benchmark=job.benchmark,
+                technique=job.config.technique.value,
+                seed=job.seed,
+                scale=job.scale,
+                config_hash=settings_hash,
+                cycles=result.cycles,
+                instructions=result.stats.instructions_retired,
+                wall_seconds={"cache_load": time.perf_counter() - t0},
+                worker=_worker_name(),
+                cache_hit=True)
+            return JobOutcome(result=result, manifest=manifest)
+
+    t0 = time.perf_counter()
+    kernel = load_or_build_kernel(job.benchmark, job.seed, job.scale,
+                                  cache=cache)
+    t1 = time.perf_counter()
+    sm = build_sm(kernel, job.config, sm_config=job.sm_config,
+                  dram_latency=get_profile(job.benchmark).dram_latency,
+                  fast_forward=job.fast_forward)
+    result = sm.run()
+    t2 = time.perf_counter()
+    if cache is not None:
+        cache.put("results", key, result)
+    manifest = RunManifest(
+        benchmark=job.benchmark,
+        technique=job.config.technique.value,
+        seed=job.seed,
+        scale=job.scale,
+        config_hash=settings_hash,
+        cycles=result.cycles,
+        instructions=result.stats.instructions_retired,
+        wall_seconds={"build_trace": t1 - t0, "simulate": t2 - t1},
+        events_published=sm.bus.events_published,
+        worker=_worker_name())
+    return JobOutcome(result=result, manifest=manifest)
+
+
+# ----------------------------------------------------------------------
+# per-SM jobs (one part of a multi-SM GPU run)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SMPartJob:
+    """One SM's share of a multi-SM :class:`~repro.sim.gpu.GPU` run.
+
+    Carries the already-split part trace (parts are small and cheap to
+    pickle), so workers need no access to the parent kernel.
+    """
+
+    part: KernelTrace
+    config: TechniqueConfig
+    sm_config: SMConfig
+    dram_latency: Optional[int] = None
+    fast_forward: bool = True
+
+
+def execute_sm_part(job: SMPartJob) -> SimResult:
+    """Run one SM part (top-level, hence picklable)."""
+    sm = build_sm(job.part, job.config, sm_config=job.sm_config,
+                  dram_latency=job.dram_latency,
+                  fast_forward=job.fast_forward)
+    return sm.run()
+
+
+# Re-exported so callers annotating AdaptiveConfig overrides don't need
+# a separate import path through the engine.
+__all__ = [
+    "AdaptiveConfig",
+    "JobOutcome",
+    "SMPartJob",
+    "SimJob",
+    "execute_job",
+    "execute_sm_part",
+    "load_or_build_kernel",
+    "trace_cache_key",
+]

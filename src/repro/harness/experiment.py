@@ -76,7 +76,14 @@ class ExperimentRunner:
     given, is wired into every SM the runner builds — enable it and
     attach exporters to stream events from the runs.
 
-    Every uncached simulation appends a :class:`RunManifest` to
+    ``engine``, when given, routes uncached simulations through the
+    parallel engine (:class:`repro.engine.pool.ParallelEngine`): they
+    gain the persistent result cache, the idle fast-forward, and —
+    via :meth:`prefetch` — process-pool fan-out.  Results are
+    bit-identical to the in-process path.  A runner with a ``bus``
+    ignores the engine: event streams are inherently in-process.
+
+    Every simulation appends a :class:`RunManifest` to
     ``self.manifests``: the run's exact configuration (hashed), its
     wall-clock cost per phase and its simulated-cycles/second
     throughput — the provenance record the CLI's ``--profile`` flag
@@ -84,13 +91,27 @@ class ExperimentRunner:
     """
 
     def __init__(self, settings: Optional[ExperimentSettings] = None,
-                 bus: Optional[EventBus] = None):
+                 bus: Optional[EventBus] = None,
+                 engine=None):
         self.settings = settings if settings is not None \
             else ExperimentSettings()
         self.bus = bus
+        self.engine = engine if bus is None else None
         self._cache: Dict[Tuple, SimResult] = {}
         #: Provenance records, one per uncached simulation, in run order.
         self.manifests: List[RunManifest] = []
+
+    def _key(self, benchmark: str, technique: Technique,
+             gating: GatingParams, adaptive: AdaptiveConfig) -> Tuple:
+        return (benchmark, technique, gating, adaptive,
+                self.settings.seed, self.settings.scale)
+
+    def _job(self, benchmark: str, config: TechniqueConfig):
+        from repro.engine.jobs import SimJob
+        return SimJob(benchmark=benchmark, config=config,
+                      sm_config=self.settings.sm_config,
+                      seed=self.settings.seed, scale=self.settings.scale,
+                      fast_forward=self.engine.fast_forward)
 
     def run(self, benchmark: str, technique: Technique,
             gating: Optional[GatingParams] = None,
@@ -98,13 +119,54 @@ class ExperimentRunner:
         """Run one configuration (memoised)."""
         gating = gating or self.settings.gating
         adaptive = adaptive or AdaptiveConfig()
-        key = (benchmark, technique, gating, adaptive,
-               self.settings.seed, self.settings.scale)
+        key = self._key(benchmark, technique, gating, adaptive)
         if key not in self._cache:
             config = TechniqueConfig(technique=technique, gating=gating,
                                      adaptive=adaptive)
-            self._cache[key] = self._run_uncached(benchmark, config)
+            if self.engine is not None:
+                outcome = self.engine.run_sim_job(
+                    self._job(benchmark, config))
+                self.manifests.append(outcome.manifest)
+                self._cache[key] = outcome.result
+            else:
+                self._cache[key] = self._run_uncached(benchmark, config)
         return self._cache[key]
+
+    def prefetch(self, requests: Sequence[Tuple]) -> None:
+        """Run many configurations at once through the engine.
+
+        ``requests`` are ``(benchmark, technique)`` or
+        ``(benchmark, technique, gating)`` or
+        ``(benchmark, technique, gating, adaptive)`` tuples.  Already-
+        memoised cells are skipped; the rest fan out over the engine's
+        worker pool and land in the in-memory cache, so subsequent
+        :meth:`run` calls (and every derived metric) are pure lookups.
+        Without an engine this is a no-op — the serial path computes
+        lazily as before.
+        """
+        if self.engine is None:
+            return
+        keys = []
+        jobs = []
+        seen = set()
+        for request in requests:
+            benchmark, technique = request[0], request[1]
+            gating = request[2] if len(request) > 2 and request[2] \
+                is not None else self.settings.gating
+            adaptive = request[3] if len(request) > 3 and request[3] \
+                is not None else AdaptiveConfig()
+            key = self._key(benchmark, technique, gating, adaptive)
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            keys.append(key)
+            jobs.append(self._job(benchmark, TechniqueConfig(
+                technique=technique, gating=gating, adaptive=adaptive)))
+        if not jobs:
+            return
+        for key, outcome in zip(keys, self.engine.run_sim_jobs(jobs)):
+            self.manifests.append(outcome.manifest)
+            self._cache[key] = outcome.result
 
     def _run_uncached(self, benchmark: str,
                       config: TechniqueConfig) -> SimResult:
@@ -138,6 +200,9 @@ class ExperimentRunner:
     def suite(self, techniques: Sequence[Technique] = PAPER_TECHNIQUES,
               ) -> Dict[Tuple[str, Technique], SimResult]:
         """Run every benchmark under every requested technique."""
+        self.prefetch([(name, technique)
+                       for name in self.settings.benchmarks
+                       for technique in techniques])
         out: Dict[Tuple[str, Technique], SimResult] = {}
         for name in self.settings.benchmarks:
             for technique in techniques:

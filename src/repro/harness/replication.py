@@ -60,18 +60,26 @@ def _estimate(samples: Sequence[float]) -> MetricEstimate:
 def replicate(settings: ExperimentSettings,
               seeds: Sequence[int] = (0, 1, 2),
               techniques: Sequence[Technique] = PAPER_TECHNIQUES,
-              ) -> List[ReplicatedResult]:
+              engine=None) -> List[ReplicatedResult]:
     """Run the headline experiment once per seed and aggregate.
 
     Each seed gets its own runner (fresh traces throughout); within a
     seed the usual identical-trace comparison across techniques holds.
+    With an ``engine``, each seed's full (benchmark × technique) grid
+    is prefetched over the worker pool before the serial metric loops
+    read it back from memory.
     """
     if not seeds:
         raise ValueError("need at least one seed")
     per_technique: Dict[Technique, Dict[str, List[float]]] = {
         t: {"int": [], "fp": [], "perf": []} for t in techniques}
     for seed in seeds:
-        runner = ExperimentRunner(replace(settings, seed=seed))
+        runner = ExperimentRunner(replace(settings, seed=seed),
+                                  engine=engine)
+        runner.prefetch(
+            [(name, tech)
+             for name in runner.settings.benchmarks
+             for tech in (Technique.BASELINE, *techniques)])
         for technique in techniques:
             int_vals, fp_vals, perf_vals = [], [], []
             for name in runner.settings.benchmarks:

@@ -67,6 +67,11 @@ def idle_detect_sweep(runner: ExperimentRunner,
     y-axis.  The returned Pearson r reproduces the per-benchmark legend
     annotations.
     """
+    runner.prefetch(
+        [(name, Technique.BASELINE) for name in runner.settings.benchmarks]
+        + [(name, technique,
+            replace(runner.settings.gating, idle_detect=v))
+           for name in runner.settings.benchmarks for v in values])
     results: List[CorrelationResult] = []
     for name in runner.settings.benchmarks:
         base_cycles = runner.baseline(name).cycles
@@ -117,6 +122,9 @@ def bet_sweep(runner: ExperimentRunner,
                   Technique.CONV_PG, Technique.WARPED_GATES),
               ) -> List[SweepPoint]:
     """Figure 11a: sensitivity to the break-even time."""
+    _prefetch_grid(runner, techniques,
+                   [replace(runner.settings.gating, bet=v)
+                    for v in values])
     points: List[SweepPoint] = []
     for bet in values:
         gating = replace(runner.settings.gating, bet=bet)
@@ -125,12 +133,26 @@ def bet_sweep(runner: ExperimentRunner,
     return points
 
 
+def _prefetch_grid(runner: ExperimentRunner,
+                   techniques: Sequence[Technique],
+                   gatings: Sequence[GatingParams]) -> None:
+    """Fan a sweep's full run grid over the runner's engine (if any)."""
+    runner.prefetch(
+        [(name, Technique.BASELINE) for name in runner.settings.benchmarks]
+        + [(name, technique, gating)
+           for name in runner.settings.benchmarks
+           for gating in gatings for technique in techniques])
+
+
 def wakeup_sweep(runner: ExperimentRunner,
                  values: Sequence[int] = WAKEUP_VALUES,
                  techniques: Sequence[Technique] = (
                      Technique.CONV_PG, Technique.WARPED_GATES),
                  ) -> List[SweepPoint]:
     """Figure 11b: sensitivity to the wakeup delay."""
+    _prefetch_grid(runner, techniques,
+                   [replace(runner.settings.gating, wakeup_delay=v)
+                    for v in values])
     points: List[SweepPoint] = []
     for wakeup in values:
         gating = replace(runner.settings.gating, wakeup_delay=wakeup)

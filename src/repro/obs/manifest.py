@@ -50,6 +50,11 @@ class RunManifest:
     wall_seconds: Dict[str, float] = field(default_factory=dict)
     events_published: int = 0
     created_at: float = field(default_factory=time.time)
+    #: Name of the process that executed the run ("" for legacy/in-process
+    #: records; worker process names under the parallel engine).
+    worker: str = ""
+    #: True when the result was served from the persistent run cache.
+    cache_hit: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -77,6 +82,8 @@ class RunManifest:
             "cycles_per_sec": self.cycles_per_sec,
             "events_published": self.events_published,
             "created_at": self.created_at,
+            "worker": self.worker,
+            "cache_hit": self.cache_hit,
         }
 
 

@@ -97,6 +97,21 @@ class GatingPolicy:
         """May a wakeup request on a gated ``domain`` be honoured now?"""
         raise NotImplementedError
 
+    def idle_cycles_until_gate(self, domain: "GatingDomain",
+                               cycle: int) -> Optional[float]:
+        """Idle cycles from ``cycle`` until :meth:`want_gate` first fires.
+
+        Contract for the idle fast-forward planner (see
+        :mod:`repro.sim.fastforward`): assuming the pipeline stays idle
+        and every other input of the decision stays frozen from
+        ``cycle`` on, return the number of further idle cycles before
+        the gate closes — 0 means "this very cycle", ``float("inf")``
+        means "never while those conditions hold".  Return ``None`` when
+        the policy cannot predict its own decision, which disables
+        fast-forwarding for the domain's SM.
+        """
+        return None
+
 
 class ConventionalPolicy(GatingPolicy):
     """Hu et al. [13]: gate after idle-detect, wake on demand.
@@ -112,6 +127,14 @@ class ConventionalPolicy(GatingPolicy):
 
     def may_wake(self, domain: "GatingDomain", cycle: int) -> bool:
         return True
+
+    def idle_cycles_until_gate(self, domain: "GatingDomain",
+                               cycle: int) -> Optional[float]:
+        # ``observe`` increments the counter *before* consulting
+        # want_gate, so the gate fires on the idle cycle that brings the
+        # counter up to idle_detect: (idle_detect - idle_counter - 1)
+        # further idle cycles from now.
+        return max(0, domain.idle_detect - domain.idle_counter - 1)
 
 
 class GatingDomain:
@@ -174,6 +197,52 @@ class GatingDomain:
         if self._gated_since is None:
             return 0
         return max(0, self.bet - self.gated_length(cycle))
+
+    # ------------------------------------------------------------------
+    # fast-forward support
+    # ------------------------------------------------------------------
+
+    def next_idle_event(self, cycle: int):
+        """Next cycle (>= ``cycle``) at which this domain's behaviour can
+        change while its pipeline stays idle, for the fast-forward
+        planner.  Returns ``None`` when the policy cannot predict its
+        gate decision (fast-forwarding must then be disabled).
+
+        The planner real-steps every returned cycle, so state
+        transitions (gate taking effect, blackout expiring, wake
+        completing, the gate-fire cycle itself) always happen inside an
+        ordinary ``_step`` and never inside a skipped span.
+        """
+        if self._gated_since is not None:
+            # The cycle the gate takes effect changes ``state()`` and
+            # the blackout view; after that, the BET expiry flips
+            # ``in_blackout`` / ``may_wake`` for the Blackout policies.
+            if self._gated_since >= cycle:
+                return self._gated_since
+            expiry = self._gated_since + self.bet
+            return expiry if expiry >= cycle else float("inf")
+        if cycle < self._wake_done:
+            return self._wake_done
+        until = self.policy.idle_cycles_until_gate(self, cycle)
+        if until is None:
+            return None
+        return cycle + until
+
+    def skip_idle_cycles(self, cycle: int, span: int) -> None:
+        """Account ``span`` provably-idle cycles starting at ``cycle``.
+
+        Equivalent to ``span`` calls of ``observe(c, False)`` under the
+        planner's guarantee that no state transition and no gate
+        decision falls inside the span (those cycles are real-stepped).
+        """
+        state = self.state(cycle)
+        if state is DomainState.GATED:
+            return  # gated accounting happens at wake/finalize
+        if state is DomainState.WAKING:
+            self.stats.waking_cycles += span
+            return
+        self.stats.on_cycles += span
+        self.idle_counter += span
 
     # ------------------------------------------------------------------
     # scheduler-facing actions

@@ -1,0 +1,265 @@
+"""Idle-cycle fast-forward for the SM main loop.
+
+GPGPU workloads under power gating spend long stretches with every
+resident warp stalled on a known-latency event — an outstanding DRAM
+round trip, a producer a fixed number of cycles from writeback, a gated
+unit counting down its break-even time.  Stepping those cycles one by
+one does no architectural work: fetch buffers are full, the issue stage
+finds nothing ready, the pipelines are empty, and the only state drift
+is bulk-replayable accounting (idle counters, round-robin pointers,
+cycle counts).
+
+:class:`IdleFastForwarder` detects such spans and jumps the clock over
+them.  The design rule that makes bit-identity easy to argue is that
+**every cycle on which anything interesting can happen is real-stepped**
+through the ordinary ``_step`` path; only provably-quiet maximal
+sub-spans are skipped.  "Interesting" cycles are collected as a lower
+bound from every stateful component:
+
+* memory — the earliest scheduled load delivery or line fill
+  (:meth:`MemorySubsystem.next_completion_cycle`);
+* scoreboards — each active/pending head's producer writeback cycles
+  and pending-threshold crossings
+  (:meth:`Scoreboard.head_event_cycles`); an *unresolved* load blocks
+  skipping outright;
+* gating domains — gate taking effect, blackout expiry, wakeup
+  completion, and the policy's predicted gate-fire cycle
+  (:meth:`GatingDomain.next_idle_event`);
+* cycle hooks — e.g. the adaptive-epoch controller's epoch-closing
+  cycle (``idle_next_event``); a hook without that method disables
+  fast-forwarding entirely;
+* the launcher — the earliest cycle a queued warp could launch
+  (``launch_blocked_until``);
+* the scheduler — a pending GATES priority flip under the frozen view
+  (``idle_flip_pending``) forces a real step so the flip happens inside
+  an ordinary ``order`` call;
+* the run cap — ``config.max_cycles``, so an over-long run raises at
+  exactly the serial cycle.
+
+When the minimum of those bounds lies beyond the current cycle, the
+span up to (but excluding) the bound is applied in bulk: per-pipeline
+idle trackers, gating-domain idle/waking counters, warp-population
+samples, no-ready-warp stall counters, the fetch and scheduler
+round-robin pointers, and the cycle count all advance by exactly what
+``span`` individual ``_step`` calls would have produced.  The only
+serial/fast-forward divergence is *internal* scoreboard garbage
+(completed producers are dropped at the next real writeback instead of
+every cycle), which is unobservable: a producer whose ready cycle has
+passed blocks nothing and classifies as nothing.
+
+Skipping statistics (``skipped_cycles``, ``skips``) live on the
+forwarder, *not* in the run's metrics — results stay byte-identical to
+serial runs by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.optypes import OpClass
+from repro.power.gating import GatingPolicy
+from repro.sim.sched.base import SchedulerView
+
+
+class IdleFastForwarder:
+    """Plans and applies idle-span skips for one SM run.
+
+    Built by :meth:`StreamingMultiprocessor.run` when fast-forwarding
+    is requested, after all domains and hooks are attached.
+    """
+
+    def __init__(self, sm) -> None:
+        self.sm = sm
+        #: Cycles jumped over instead of stepped (diagnostics only).
+        self.skipped_cycles = 0
+        #: Number of skip spans applied.
+        self.skips = 0
+        self._pending_count = 0
+        self._view: Optional[SchedulerView] = None
+        self.supported = self._check_supported()
+
+    # ------------------------------------------------------------------
+    # capability check (once per run)
+    # ------------------------------------------------------------------
+
+    def _check_supported(self) -> bool:
+        sm = self.sm
+        if not sm.scheduler.supports_idle_skip:
+            return False
+        if sm.regfile is not None:
+            # Operand-collector arbitration state has no bulk replay.
+            return False
+        if not hasattr(sm.launcher, "launch_blocked_until"):
+            return False
+        for hook in sm.hooks:
+            if not hasattr(hook, "idle_next_event"):
+                return False
+            if hook.idle_next_event(0) <= 0:
+                # The hook pins every cycle (e.g. the CCWS decay hook):
+                # no span could ever be skipped, so don't pay the
+                # planning cost either.
+                return False
+        for domain in sm.domains.values():
+            # A policy that keeps the base idle_cycles_until_gate cannot
+            # predict its own gate decision.
+            if type(domain.policy).idle_cycles_until_gate \
+                    is GatingPolicy.idle_cycles_until_gate:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def advance(self, cycle: int) -> int:
+        """Skip ahead from ``cycle`` if a quiet span starts here.
+
+        Returns the first cycle that must be real-stepped (== ``cycle``
+        when no skip is possible).  On a skip, all bulk accounting for
+        the span [cycle, returned) has been applied.
+        """
+        if not self.supported:
+            return cycle
+        target = self._plan(cycle)
+        if target > cycle:
+            self._apply(cycle, target)
+            return target
+        return cycle
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def _plan(self, cycle: int) -> int:
+        """Return the earliest interesting cycle >= ``cycle``.
+
+        Any return <= ``cycle`` means "step normally".  Ordered so the
+        cheap disqualifiers run first — on busy cycles this should cost
+        little more than a few attribute checks.
+        """
+        sm = self.sm
+        if sm.bus.enabled or sm._retry:
+            return cycle
+        for pipe in sm.pipelines:
+            if pipe.is_busy(cycle):
+                return cycle
+
+        config = sm.config
+        bound: float = config.max_cycles
+        threshold = config.memory.pending_threshold
+        ibuffer_entries = sm.fetch.ibuffer_entries
+        view = SchedulerView()
+        actv = view.actv_counts
+        pending = 0
+        resident = 0
+        free_slot = False
+
+        for warp in sm.warps:
+            if not warp.occupied:
+                free_slot = True
+                continue
+            resident += 1
+            if warp.finished():
+                return cycle  # slot frees (and may refill) this cycle
+            exhausted = warp.trace_exhausted
+            if not exhausted and len(warp.ibuffer) < ibuffer_entries:
+                return cycle  # fetch still streams this warp
+            head = warp.head()
+            if head is None:
+                continue  # exhausted, draining outstanding work
+            events = warp.scoreboard.head_event_cycles(head, threshold)
+            if events is None:
+                return cycle  # unresolved load: latency unknown
+            if warp.scoreboard.blocking_memory(head, cycle, threshold):
+                pending += 1
+            else:
+                if warp.scoreboard.is_ready(head, cycle):
+                    return cycle  # issue will happen
+                actv[head.op_class] += 1
+            for event in events:
+                if cycle < event < bound:
+                    bound = event
+
+        mem_event = sm.memory.next_completion_cycle()
+        if mem_event <= cycle:
+            return cycle
+        if mem_event < bound:
+            bound = mem_event
+
+        for domain in sm.domains.values():
+            event = domain.next_idle_event(cycle)
+            if event is None or event <= cycle:
+                return cycle
+            if event < bound:
+                bound = event
+
+        for hook in sm.hooks:
+            event = hook.idle_next_event(cycle)
+            if event <= cycle:
+                return cycle
+            if event < bound:
+                bound = event
+
+        if sm.launcher.remaining and free_slot:
+            event = sm.launcher.launch_blocked_until(cycle, resident)
+            if event <= cycle:
+                return cycle
+            if event < bound:
+                bound = event
+
+        if bound <= cycle:
+            return cycle
+
+        for cls in (OpClass.INT, OpClass.FP):
+            view.type_in_blackout[cls] = sm._type_in_blackout(cycle, cls)
+        if sm.scheduler.idle_flip_pending(cycle, view):
+            return cycle
+
+        self._view = view
+        self._pending_count = pending
+        return int(bound)
+
+    # ------------------------------------------------------------------
+    # bulk application
+    # ------------------------------------------------------------------
+
+    def _apply(self, cycle: int, target: int) -> None:
+        """Account the quiet span [cycle, target) in bulk.
+
+        Mirrors exactly what ``span`` ordinary ``_step`` calls would do
+        on a no-work cycle; see the module docstring for the argument
+        that each per-cycle stage reduces to these updates.
+        """
+        sm = self.sm
+        span = target - cycle
+        stats = sm.stats
+        view = self._view
+        assert view is not None
+
+        # stage 4: classification samples
+        n_active = sum(view.actv_counts.values())
+        stats.active_warp_sum += span * n_active
+        stats.pending_warp_sum += span * self._pending_count
+        if n_active > stats.active_warp_max:
+            stats.active_warp_max = n_active
+        sm.actv_counts = view.actv_counts
+
+        # stage 3: fetch round-robin pointer
+        sm.fetch.skip_idle_cycles(span, len(sm.warps))
+
+        # stage 5: empty issue slots + scheduler pointer drift
+        stats.stalls.no_ready_warp += span * sm.config.issue_width
+        sm.scheduler.skip_idle_cycles(span)
+
+        # stage 6: idle trackers and gating domains
+        for pipe in sm.pipelines:
+            stats.tracker(pipe.name).observe_idle_span(span)
+            domain = sm.domains.get(pipe.name)
+            if domain is not None:
+                domain.skip_idle_cycles(cycle, span)
+        stats.tracker(sm.SM_WIDE_TRACKER).observe_idle_span(span)
+
+        stats.cycles += span
+        self.skipped_cycles += span
+        self.skips += 1
+        self._view = None

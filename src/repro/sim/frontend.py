@@ -115,6 +115,17 @@ class FetchEngine:
         self._rr_start = (self._rr_start + 1) % n
         return fetched
 
+    def skip_idle_cycles(self, span: int, n_warps: int) -> None:
+        """Replay ``span`` ticks on a quiescent front end.
+
+        When every occupied warp is trace-exhausted or has a full
+        I-buffer, ``tick`` fetches nothing and only rotates the
+        round-robin pointer — which this replays in bulk for the idle
+        fast-forward path.
+        """
+        if n_warps:
+            self._rr_start = (self._rr_start + span) % n_warps
+
 
 class WarpLauncher:
     """Feeds kernel warps into SM slots as residency frees up."""
@@ -143,6 +154,18 @@ class WarpLauncher:
         trace = self.kernel.warps[self._next]
         self._next += 1
         return trace
+
+    def launch_blocked_until(self, cycle: int, resident: int) -> float:
+        """Earliest cycle a queued warp could launch (fast-forward bound).
+
+        For the single-kernel launcher a queued warp launches whenever a
+        slot frees up, so with warps still queued the answer is "now" —
+        the planner then refuses to skip (a free slot plus a queued warp
+        means the next cycle does real work).
+        """
+        if self._next >= self.kernel.n_warps:
+            return float("inf")
+        return cycle
 
     def launch_into(self, warps: List[WarpContext]) -> int:
         """Fill free slots (up to the residency cap) with queued warps."""
@@ -234,3 +257,21 @@ class MultiKernelLauncher:
                                    self.max_resident_cap)
         self._gap_until = None
         return self.pop_next(cycle, resident)
+
+    def launch_blocked_until(self, cycle: int, resident: int) -> float:
+        """Earliest cycle a launch attempt could do something
+        (fast-forward bound; mirrors :meth:`pop_next` without mutating).
+
+        Note the ``_gap_until is None`` case returns ``cycle``: the next
+        ``pop_next`` call *starts* the gap countdown (a mutation), so the
+        planner must real-step it rather than skip over it.
+        """
+        if self._inner.remaining:
+            return cycle
+        if self._index + 1 >= len(self.kernels):
+            return float("inf")
+        if resident > 0:
+            return float("inf")  # barrier: launch waits on retirements
+        if self._gap_until is None:
+            return cycle
+        return max(cycle, self._gap_until)

@@ -14,7 +14,7 @@ Building an SM per technique is the caller's job (the harness passes an
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.isa.optypes import ExecUnitKind
 from repro.isa.trace import KernelTrace, WarpTrace
@@ -81,20 +81,61 @@ class GPUResult:
 
 
 class GPU:
-    """A device of independent SMs sharing a work distributor."""
+    """A device of independent SMs sharing a work distributor.
 
-    def __init__(self, n_sms: int, sm_factory: SMFactory) -> None:
+    Two construction styles:
+
+    * ``GPU(n, sm_factory)`` — legacy closure-based wiring; runs
+      serially only (closures don't pickle).
+    * ``GPU(n, config=TechniqueConfig(...), sm_config=..., ...)`` —
+      declarative wiring from picklable configs, which additionally
+      allows ``run(kernel, engine=...)`` to fan the per-SM parts over
+      a :class:`~repro.engine.pool.ParallelEngine`.
+    """
+
+    def __init__(self, n_sms: int, sm_factory: Optional[SMFactory] = None,
+                 *, config=None, sm_config=None,
+                 dram_latency: Optional[int] = None,
+                 fast_forward: bool = False) -> None:
         if n_sms < 1:
             raise ValueError("n_sms must be >= 1")
+        if (sm_factory is None) == (config is None):
+            raise ValueError("pass exactly one of sm_factory or config")
         self.n_sms = n_sms
-        self.sm_factory = sm_factory
+        self.config = config
+        self.sm_config = sm_config
+        self.dram_latency = dram_latency
+        self.fast_forward = fast_forward
+        if sm_factory is not None:
+            self.sm_factory = sm_factory
+        else:
+            from repro.core.techniques import build_sm
 
-    def run(self, kernel: KernelTrace) -> GPUResult:
-        """Split, run and aggregate one kernel launch."""
-        results: List[SimResult] = []
-        for part in split_kernel(kernel, self.n_sms):
-            sm = self.sm_factory(part)
-            results.append(sm.run())
+            def factory(part: KernelTrace) -> StreamingMultiprocessor:
+                return build_sm(part, config, sm_config=sm_config,
+                                dram_latency=dram_latency,
+                                fast_forward=fast_forward)
+            self.sm_factory = factory
+
+    def run(self, kernel: KernelTrace, engine=None) -> GPUResult:
+        """Split, run and aggregate one kernel launch.
+
+        With an ``engine`` (and config-based construction), the
+        independent SM parts execute on the worker pool; results are
+        aggregated in part order, identical to the serial path.
+        """
+        parts = split_kernel(kernel, self.n_sms)
+        if engine is not None and self.config is not None:
+            from repro.engine.jobs import SMPartJob, execute_sm_part
+            from repro.sim.config import SMConfig
+            jobs = [SMPartJob(part=part, config=self.config,
+                              sm_config=self.sm_config or SMConfig(),
+                              dram_latency=self.dram_latency,
+                              fast_forward=self.fast_forward)
+                    for part in parts]
+            results = engine.map(execute_sm_part, jobs)
+        else:
+            results = [self.sm_factory(part).run() for part in parts]
         technique = results[0].technique if results else "baseline"
         return GPUResult(kernel_name=kernel.name, technique=technique,
                          sm_results=tuple(results))

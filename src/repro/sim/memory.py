@@ -209,6 +209,21 @@ class MemorySubsystem:
                                                               evicted)
         return done
 
+    def next_completion_cycle(self) -> float:
+        """Earliest cycle at which :meth:`tick` has any work to do.
+
+        Fast-forward bound: scheduled load deliveries and outstanding
+        line fills are the only time-driven state here, and both carry
+        explicit ready cycles.  Returns ``inf`` when the subsystem is
+        completely quiet.
+        """
+        bound = float("inf")
+        if self._pending:
+            bound = self._pending[0][0]
+        if self._outstanding:
+            bound = min(bound, min(self._outstanding.values()))
+        return bound
+
     def attach_locality_monitor(self, monitor) -> None:
         """Enable CCWS lost-locality detection on this memory path."""
         self.locality_monitor = monitor

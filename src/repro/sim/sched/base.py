@@ -77,6 +77,14 @@ class WarpScheduler(abc.ABC):
     #: instances (unit tests) publishing into the shared disabled bus.
     bus: EventBus = NULL_BUS
 
+    #: Whether the idle fast-forward (:mod:`repro.sim.fastforward`) may
+    #: skip cycles on which this scheduler sees no ready candidates.  A
+    #: scheduler must opt in only when (a) ``order`` on an empty ready
+    #: set either mutates no state or the mutation is replayed exactly
+    #: by :meth:`skip_idle_cycles`, and (b) any priority change that can
+    #: fire on a no-ready cycle is reported by :meth:`idle_flip_pending`.
+    supports_idle_skip = False
+
     @abc.abstractmethod
     def order(self, cycle: int, candidates: Sequence[IssueCandidate],
               view: SchedulerView) -> List[IssueCandidate]:
@@ -87,3 +95,20 @@ class WarpScheduler(abc.ABC):
 
     def reset(self) -> None:
         """Clear internal state before a fresh run (optional)."""
+
+    def skip_idle_cycles(self, span: int) -> None:
+        """Replay the per-cycle state drift of ``span`` no-ready cycles.
+
+        Called by the fast-forward path instead of ``span`` individual
+        ``order`` calls with an empty ready set.  Default: nothing (the
+        scheduler's ``order`` is pure on empty input).
+        """
+
+    def idle_flip_pending(self, cycle: int, view: SchedulerView) -> bool:
+        """True when the scheduler would change internal priority state
+        at ``cycle`` even with no ready candidates, given ``view``.
+
+        The fast-forward planner real-steps such cycles so the change
+        happens inside an ordinary ``order`` call.  Default: False.
+        """
+        return False

@@ -25,6 +25,11 @@ class CCWSScheduler(WarpScheduler):
     """Two-level scheduling with lost-locality warp throttling."""
 
     name = "ccws"
+    # With an empty ready set, ``order`` mutates nothing (the throttle
+    # counter only advances when ready warps are filtered out).  The
+    # decay hook below still pins every cycle via idle_next_event, so
+    # CCWS runs effectively un-fast-forwarded — correct, just not fast.
+    supports_idle_skip = True
 
     def __init__(self, n_slots: int = 48,
                  monitor: Optional[LostLocalityMonitor] = None,
@@ -82,3 +87,9 @@ class MonitorDecayHook:
 
     def on_cycle(self, cycle: int) -> None:
         self.monitor.on_cycle(cycle)
+
+    def idle_next_event(self, cycle: int) -> int:
+        # The monitor's score decays every cycle; there is no cheap way
+        # to replay that in bulk, so report "something happens now",
+        # which blocks any skip while this hook is installed.
+        return cycle

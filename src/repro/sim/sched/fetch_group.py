@@ -20,6 +20,9 @@ class FetchGroupScheduler(WarpScheduler):
     """Group-prioritised two-level warp scheduler."""
 
     name = "fetch_group"
+    # ``order`` returns before any mutation when the ready set is
+    # empty, so no-ready cycles leave the scheduler untouched.
+    supports_idle_skip = True
 
     def __init__(self, n_slots: int = 48, group_size: int = 8) -> None:
         if n_slots < 1:

@@ -26,6 +26,9 @@ class TwoLevelScheduler(WarpScheduler):
     """Greedy two-level warp scheduler (paper baseline)."""
 
     name = "two_level"
+    # ``order`` mutates nothing (only ``on_issue`` moves the pointer),
+    # so skipping no-ready cycles is trivially safe.
+    supports_idle_skip = True
 
     def __init__(self, n_slots: int = 48) -> None:
         if n_slots < 1:
@@ -58,12 +61,18 @@ class LooseRoundRobinScheduler(WarpScheduler):
     """
 
     name = "lrr"
+    # ``order`` advances the rotation pointer every cycle; the skip
+    # override below replays exactly that drift.
+    supports_idle_skip = True
 
     def __init__(self, n_slots: int = 48) -> None:
         if n_slots < 1:
             raise ValueError("n_slots must be >= 1")
         self.n_slots = n_slots
         self._pointer = 0
+
+    def skip_idle_cycles(self, span: int) -> None:
+        self._pointer = (self._pointer + span) % self.n_slots
 
     def order(self, cycle: int, candidates: Sequence[IssueCandidate],
               view: SchedulerView) -> List[IssueCandidate]:

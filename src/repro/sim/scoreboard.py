@@ -145,6 +145,34 @@ class Scoreboard:
             del self._busy[reg]
 
     # ------------------------------------------------------------------
+    # fast-forward support
+    # ------------------------------------------------------------------
+
+    def head_event_cycles(self, inst: Instruction,
+                          pending_threshold: int):
+        """Cycles at which ``inst``'s readiness/classification can change.
+
+        For the idle fast-forward planner: returns the list of future
+        cycles where a producer of ``inst`` writes back (flipping the
+        ready bit) or crosses the pending threshold (moving the warp
+        between the pending and active sets).  Returns ``None`` when any
+        producer is UNRESOLVED — its completion time is unknown, so the
+        planner must not skip (in practice an unresolved load is resolved
+        by the LDST pipe within a real-stepped cycle or two).
+        """
+        events = []
+        for reg in self._operand_registers(inst):
+            producer = self._busy.get(reg)
+            if producer is None:
+                continue
+            if producer.ready_cycle == UNRESOLVED:
+                return None
+            events.append(producer.ready_cycle)
+            if producer.is_memory:
+                events.append(producer.ready_cycle - pending_threshold)
+        return events
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 

@@ -175,7 +175,8 @@ class StreamingMultiprocessor:
                  dram_latency: Optional[int] = None,
                  technique: str = "baseline",
                  kernel_gap_cycles: int = 0,
-                 bus: Optional[EventBus] = None) -> None:
+                 bus: Optional[EventBus] = None,
+                 fast_forward: bool = False) -> None:
         if isinstance(kernel, KernelTrace):
             self.kernels: List[KernelTrace] = [kernel]
         else:
@@ -232,6 +233,12 @@ class StreamingMultiprocessor:
         self._retry: List[Tuple[int, Instruction]] = []
         self._ran = False
         self._kernel_index_seen = 0
+        #: When True, run() installs an IdleFastForwarder that jumps
+        #: over provably-quiet idle spans (bit-identical results; see
+        #: repro.sim.fastforward).  The forwarder is built lazily at run
+        #: time so domains and hooks attached after construction count.
+        self.fast_forward = fast_forward
+        self._forwarder = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -268,14 +275,23 @@ class StreamingMultiprocessor:
                                "build a fresh SM for another run")
         self._ran = True
         self.scheduler.reset()
+        if self.fast_forward:
+            from repro.sim.fastforward import IdleFastForwarder
+            self._forwarder = IdleFastForwarder(self)
         if self.bus.enabled:
             self.bus.publish(KernelBoundary(0, self.kernel.name, 0))
         cycle = 0
+        forwarder = self._forwarder
         while not self._drained():
             if cycle >= self.config.max_cycles:
                 raise RuntimeError(
                     f"{self.kernel.name}: no drain after "
                     f"{self.config.max_cycles} cycles (deadlock?)")
+            if forwarder is not None:
+                skipped_to = forwarder.advance(cycle)
+                if skipped_to != cycle:
+                    cycle = skipped_to
+                    continue
             self._step(cycle)
             cycle += 1
         return self._collect(cycle)

@@ -67,6 +67,20 @@ class IdlePeriodTracker:
             self.idle_cycles += 1
             self._current_run += 1
 
+    def observe_idle_span(self, span: int) -> None:
+        """Record ``span`` consecutive idle cycles in one call.
+
+        Exactly equivalent to ``span`` calls of ``observe(False)`` — the
+        cycles extend the current idle run without closing it — but O(1).
+        Used by the fast-forward path (:mod:`repro.sim.fastforward`).
+        """
+        if self._finalized:
+            raise RuntimeError(
+                "IdlePeriodTracker.observe_idle_span() after finalize(): "
+                "build a fresh tracker for a new run")
+        self.idle_cycles += span
+        self._current_run += span
+
     def finalize(self) -> None:
         """Flush a trailing idle run at end of simulation.
 

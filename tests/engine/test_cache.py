@@ -1,0 +1,119 @@
+"""Persistent run-cache behaviour: round trips, corruption, atomicity."""
+
+import pickle
+
+import pytest
+
+from repro.core.techniques import Technique, TechniqueConfig
+from repro.engine.cache import RunCache
+from repro.engine.jobs import (
+    SimJob,
+    execute_job,
+    load_or_build_kernel,
+    trace_cache_key,
+)
+
+
+class TestRunCache:
+    def test_round_trip(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put("results", "key", {"cycles": 42})
+        assert cache.get("results", "key") == {"cycles": 42}
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_missing_entry_is_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.get("results", "absent") is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put("results", "key", [1, 2, 3])
+        cache.path("results", "key").write_bytes(b"not a pickle")
+        assert cache.get("results", "key") is None
+        assert cache.misses == 1
+
+    def test_truncated_entry_is_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put("results", "key", list(range(1000)))
+        path = cache.path("results", "key")
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get("results", "key") is None
+
+    def test_writes_leave_no_temp_files(self, tmp_path):
+        cache = RunCache(tmp_path)
+        for i in range(5):
+            cache.put("results", f"k{i}", i)
+        names = sorted(p.name for p in (tmp_path / "results").iterdir())
+        assert names == [f"k{i}.pkl" for i in range(5)]
+
+    def test_groups_are_disjoint(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put("traces", "key", "a trace")
+        assert cache.get("results", "key") is None
+
+
+class TestTraceMemoisation:
+    def test_trace_round_trip(self, tmp_path):
+        cache = RunCache(tmp_path)
+        first = load_or_build_kernel("hotspot", 0, 0.2, cache=cache)
+        assert cache.path("traces",
+                          trace_cache_key("hotspot", 0, 0.2)).exists()
+        second = load_or_build_kernel("hotspot", 0, 0.2, cache=cache)
+        assert cache.hits == 1
+        assert second.n_warps == first.n_warps
+        assert second.total_instructions == first.total_instructions
+        assert pickle.dumps(second) == pickle.dumps(first)
+
+    def test_key_distinguishes_seed_and_scale(self):
+        base = trace_cache_key("hotspot", 0, 0.2)
+        assert trace_cache_key("hotspot", 1, 0.2) != base
+        assert trace_cache_key("hotspot", 0, 0.25) != base
+        assert trace_cache_key("bfs", 0, 0.2) != base
+
+    def test_no_cache_builds_directly(self):
+        kernel = load_or_build_kernel("hotspot", 0, 0.2, cache=None)
+        assert kernel.n_warps > 0
+
+
+class TestResultCache:
+    JOB = SimJob(benchmark="hotspot",
+                 config=TechniqueConfig(Technique.CONV_PG), scale=0.2)
+
+    def test_execute_job_round_trip(self, tmp_path):
+        cold = execute_job(self.JOB, cache_dir=str(tmp_path))
+        assert not cold.manifest.cache_hit
+        assert set(cold.manifest.wall_seconds) == {"build_trace",
+                                                   "simulate"}
+        warm = execute_job(self.JOB, cache_dir=str(tmp_path))
+        assert warm.manifest.cache_hit
+        assert set(warm.manifest.wall_seconds) == {"cache_load"}
+        assert warm.result.cycles == cold.result.cycles
+        assert warm.result.metrics == cold.result.metrics
+        assert warm.manifest.cycles == cold.manifest.cycles
+
+    def test_corrupt_result_falls_back_to_simulation(self, tmp_path):
+        cold = execute_job(self.JOB, cache_dir=str(tmp_path))
+        path = RunCache(tmp_path).path("results", self.JOB.cache_key())
+        path.write_bytes(b"garbage")
+        redo = execute_job(self.JOB, cache_dir=str(tmp_path))
+        assert not redo.manifest.cache_hit
+        assert redo.result.cycles == cold.result.cycles
+
+    def test_key_isolates_fast_forward_and_config(self):
+        base = self.JOB.cache_key()
+        assert SimJob(benchmark="hotspot",
+                      config=TechniqueConfig(Technique.CONV_PG),
+                      scale=0.2, fast_forward=False).cache_key() != base
+        assert SimJob(benchmark="hotspot",
+                      config=TechniqueConfig(Technique.WARPED_GATES),
+                      scale=0.2).cache_key() != base
+        assert SimJob(benchmark="hotspot",
+                      config=TechniqueConfig(Technique.CONV_PG),
+                      scale=0.2, seed=7).cache_key() != base
+
+    def test_no_cache_dir_runs_fresh(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        outcome = execute_job(self.JOB, cache_dir=None)
+        assert not outcome.manifest.cache_hit
+        assert list(tmp_path.iterdir()) == []  # nothing written to CWD

@@ -7,6 +7,12 @@ import pytest
 from repro.cli import FIGURE_BUILDERS, build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    """Commands cache under ``CWD/.repro-cache``; keep it out of the repo."""
+    monkeypatch.chdir(tmp_path)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -132,3 +138,46 @@ class TestCommands:
                      "figure", "fig6"])
         assert code == 0
         assert "pearson_r" in capsys.readouterr().out
+
+
+class TestEngineFlags:
+    def test_engine_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["run", "hotspot", "baseline"])
+        assert args.jobs == 1
+        assert not args.no_cache
+        assert not args.no_fast_forward
+
+    def test_jobs_output_matches_serial(self, capsys):
+        base_args = ["--scale", "0.2", "--benchmarks", "hotspot",
+                     "run", "hotspot", "conv_pg"]
+        assert main(["--no-cache", "--no-fast-forward"] + base_args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["--jobs", "2", "--no-cache"] + base_args) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_default_run_populates_cache(self, capsys, tmp_path):
+        args = ["--scale", "0.2", "--benchmarks", "hotspot",
+                "run", "hotspot", "conv_pg", "--profile"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        cache_root = tmp_path / ".repro-cache"
+        assert (cache_root / "results").is_dir()
+        assert (cache_root / "traces").is_dir()
+        # Second invocation serves from cache, identical metrics table.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        cut = first.index("Run manifests")
+        assert second[:cut] == first[:cut]
+
+    def test_no_cache_leaves_no_directory(self, capsys, tmp_path):
+        assert main(["--no-cache", "--scale", "0.2",
+                     "--benchmarks", "hotspot",
+                     "run", "hotspot", "baseline"]) == 0
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_replicate_with_jobs(self, capsys):
+        code = main(["--jobs", "2", "--no-cache", "--scale", "0.15",
+                     "--benchmarks", "hotspot",
+                     "replicate", "--seeds", "2"])
+        assert code == 0
+        assert "2 seeds" in capsys.readouterr().out
