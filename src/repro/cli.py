@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_fraction, format_table
 from repro.core.techniques import Technique
+from repro.engine.faults import JobFailedError, last_error_line
 from repro.harness import figures
 from repro.harness.experiment import (
     ExperimentRunner,
@@ -86,6 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-fast-forward", action="store_true",
                         help="disable the idle-cycle fast-forward "
                              "(results are bit-identical either way)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first job failure (exit 2) "
+                             "instead of completing the grid (exit 3)")
+    parser.add_argument("--max-retries", type=int, default=0, metavar="N",
+                        help="retry a failed/timed-out job up to N times "
+                             "(default 0)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget; hung workers "
+                             "are killed (needs --jobs > 1)")
+    parser.add_argument("--cache-cap-mb", type=float, default=None,
+                        metavar="MB",
+                        help="cap the persistent cache size; "
+                             "least-recently-used entries are evicted")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmarks and techniques")
@@ -146,13 +161,38 @@ def _parse_benchmarks(raw: Optional[str]) -> Tuple[str, ...]:
 
 def _engine(args: argparse.Namespace):
     """Build the parallel engine the global flags describe."""
-    from repro.engine import ParallelEngine
+    from repro.engine import FaultPolicy, ParallelEngine
     from repro.engine.cache import DEFAULT_CACHE_DIR
 
     return ParallelEngine(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else DEFAULT_CACHE_DIR,
-        fast_forward=not args.no_fast_forward)
+        fast_forward=not args.no_fast_forward,
+        policy=FaultPolicy(max_retries=args.max_retries,
+                           job_timeout=args.job_timeout,
+                           fail_fast=args.fail_fast),
+        cache_max_bytes=(int(args.cache_cap_mb * 2 ** 20)
+                         if args.cache_cap_mb is not None else None))
+
+
+def _failure_exit(manifests) -> int:
+    """Report terminally failed jobs, if any; pick the exit code.
+
+    Returns 0 when every manifest is ok, 3 when the command completed
+    a partial grid around failures (the fail-fast abort path exits 2
+    from :func:`main` instead).
+    """
+    failed = [m for m in manifests if not m.ok]
+    if not failed:
+        return 0
+    print()
+    print(format_table(
+        ("benchmark", "technique", "status", "attempts", "error"),
+        [[m.benchmark, m.technique, m.status, m.attempts,
+          last_error_line(m.error)[:60]] for m in failed],
+        title=f"{len(failed)} job(s) failed; metrics above cover the "
+              f"surviving cells"), file=sys.stderr)
+    return 3
 
 
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -253,7 +293,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if args.json:
         rows_to_json(headers, rows, path=args.json, figure=args.name)
         print(f"wrote {args.json}")
-    return 0
+    return _failure_exit(runner.manifests)
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
@@ -264,7 +304,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     print()
     print(format_table(figures.FIG5B_HEADERS, figures.fig5b_rows(runner),
                        title="Figure 5b: active warps"))
-    return 0
+    return _failure_exit(runner.manifests)
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -275,7 +315,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     title = ("Figure 11a: break-even time" if args.axis == "bet"
              else "Figure 11b: wakeup delay")
     print(format_table(SWEEP_HEADERS, sweep_rows(points), title=title))
-    return 0
+    return _failure_exit(runner.manifests)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -309,7 +349,7 @@ def cmd_energy(args: argparse.Namespace) -> int:
         ("technique", "unit", "dynamic", "overhead", "static", "total"),
         rows, title=f"Normalised energy breakdown: {args.benchmark} "
                     f"(1.0 = no-gating baseline)"))
-    return 0
+    return _failure_exit(runner.manifests)
 
 
 def cmd_replicate(args: argparse.Namespace) -> int:
@@ -323,11 +363,12 @@ def cmd_replicate(args: argparse.Namespace) -> int:
 
     settings = ExperimentSettings(
         scale=args.scale, benchmarks=_parse_benchmarks(args.benchmarks))
+    failure_log: list = []
     results = replicate(settings, seeds=tuple(range(args.seeds)),
-                        engine=_engine(args))
+                        engine=_engine(args), failure_log=failure_log)
     print(format_table(REPLICATION_HEADERS, replication_rows(results),
                        title=f"Headline metrics over {args.seeds} seeds"))
-    return 0
+    return _failure_exit(failure_log)
 
 
 COMMANDS = {
@@ -343,9 +384,18 @@ COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success; 2 a job failure aborted the command (the
+    default strict ``run`` path, or any command under ``--fail-fast``);
+    3 the command completed a partial grid around failed jobs.
+    """
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except JobFailedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -5,6 +5,9 @@ per-SM parts of a multi-SM :class:`~repro.sim.gpu.GPU` run — is
 embarrassingly parallel: every cell is a pure function of a picklable
 job spec.  This package exploits that structure:
 
+* :mod:`repro.engine.faults` — structured job outcomes
+  (:class:`JobReport`, :class:`JobStatus`) and the retry/timeout
+  :class:`FaultPolicy` that keeps one bad cell from killing a sweep;
 * :mod:`repro.engine.jobs` — frozen job specs (:class:`SimJob`,
   :class:`SMPartJob`) and the top-level worker functions that execute
   them, including the on-disk kernel-trace memoisation;
@@ -20,23 +23,37 @@ The harness (:mod:`repro.harness.experiment`) and the CLI's
 """
 
 from repro.engine.cache import RunCache
+from repro.engine.faults import (
+    FaultPolicy,
+    JobFailedError,
+    JobReport,
+    JobStatus,
+)
 from repro.engine.jobs import (
     JobOutcome,
     SimJob,
     SMPartJob,
     execute_job,
     execute_sm_part,
+    failure_manifest,
     load_or_build_kernel,
+    outcome_from_report,
 )
 from repro.engine.pool import ParallelEngine
 
 __all__ = [
+    "FaultPolicy",
+    "JobFailedError",
     "JobOutcome",
+    "JobReport",
+    "JobStatus",
     "ParallelEngine",
     "RunCache",
     "SimJob",
     "SMPartJob",
     "execute_job",
     "execute_sm_part",
+    "failure_manifest",
     "load_or_build_kernel",
+    "outcome_from_report",
 ]

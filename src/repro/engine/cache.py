@@ -14,61 +14,118 @@ produces a different key and old entries simply stop being hit.
 Invalidation is therefore "delete the directory whenever you feel like
 it": entries are immutable once written.
 
-Writes are atomic (temp file + ``os.replace``) so parallel workers can
-race on the same key safely — last writer wins with an identical
-payload.  A corrupt or unreadable entry is treated as a miss.
+The store is managed, not just a pile of pickles:
+
+* **Atomic writes** (temp file + ``os.replace``) so parallel workers
+  can race on the same key safely — last writer wins with an identical
+  payload.
+* **Payload checksums**: every entry is ``MAGIC + sha256(payload) +
+  payload``.  A truncated or bit-flipped entry fails verification and
+  reads as a miss — it is never unpickled — as does any pre-checksum
+  legacy file.
+* **Janitor**: a worker killed between ``mkstemp`` and ``os.replace``
+  leaves a ``.tmp`` orphan behind; opening a cache sweeps temp files
+  older than :data:`STALE_TMP_AGE` (young ones may belong to a live
+  writer and are left alone).
+* **Size cap** (optional): ``max_bytes`` evicts least-recently-used
+  entries after a write; a hit refreshes its entry's recency.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Iterator, Optional, Union
 
 #: Default cache root, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Bump to orphan every existing entry (cache format change, simulator
-#: semantics change that config hashes cannot see, ...).
-CACHE_VERSION = 1
+#: semantics change that config hashes cannot see, ...).  2: entries
+#: gained the checksummed header.
+CACHE_VERSION = 2
+
+#: Entry header: magic tag + SHA-256 digest of the pickled payload.
+MAGIC = b"RPC2"
+_HEADER_LEN = len(MAGIC) + 32
+
+#: Temp files older than this (seconds) are presumed orphaned by a
+#: killed worker and swept; younger ones may be a live writer's.
+STALE_TMP_AGE = 3600.0
 
 
 class RunCache:
-    """Pickle-per-entry store with atomic writes and hit/miss counters."""
+    """Checksummed pickle-per-entry store with janitor and size cap.
 
-    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+    Args:
+        root: Cache directory (created on first write).
+        max_bytes: Optional total-size cap; exceeding it after a write
+            evicts least-recently-used entries until back under.
+        janitor: Sweep stale ``.tmp`` orphans when opening an existing
+            cache directory (cheap: one scandir per group).
+        stale_tmp_age: Age in seconds past which a temp file counts as
+            orphaned.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR,
+                 max_bytes: Optional[int] = None,
+                 janitor: bool = True,
+                 stale_tmp_age: float = STALE_TMP_AGE) -> None:
         self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.stale_tmp_age = stale_tmp_age
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.swept_tmp = 0
+        if janitor and self.root.is_dir():
+            self.sweep_tmp()
 
     def path(self, group: str, key: str) -> Path:
         """Filesystem location of one entry."""
         return self.root / group / f"{key}.pkl"
 
+    # ------------------------------------------------------------------
+    # entries
+    # ------------------------------------------------------------------
+
     def get(self, group: str, key: str) -> Optional[Any]:
-        """Load an entry, or None on miss (including corrupt entries)."""
+        """Load an entry, or None on miss.
+
+        Corrupt, truncated, legacy-format and version-skewed entries
+        all count as misses — the checksum is verified *before* any
+        unpickling happens.
+        """
         path = self.path(group, key)
         try:
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError):
+            blob = path.read_bytes()
+            value = _decode(blob)
+        except (OSError, ValueError, pickle.PickleError, EOFError,
+                AttributeError, ImportError):
             self.misses += 1
             return None
+        try:
+            os.utime(path)  # refresh recency for LRU eviction
+        except OSError:
+            pass
         self.hits += 1
         return value
 
     def put(self, group: str, key: str, value: Any) -> None:
         """Store an entry atomically (concurrent writers are safe)."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = MAGIC + hashlib.sha256(payload).digest() + payload
         path = self.path(group, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent,
                                         prefix=f".{key}.", suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(blob)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -76,7 +133,110 @@ class RunCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._evict()
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+
+    def sweep_tmp(self, max_age: Optional[float] = None) -> int:
+        """Remove orphaned ``.tmp`` files; returns how many were swept.
+
+        A worker killed between ``mkstemp`` and ``os.replace`` would
+        otherwise litter the cache forever.  Only files older than
+        ``max_age`` (default: the cache's ``stale_tmp_age``) go — a
+        fresh temp file may belong to a concurrent writer mid-flight.
+        """
+        cutoff = time.time() - (self.stale_tmp_age if max_age is None
+                                else max_age)
+        removed = 0
+        for group_dir in self._group_dirs():
+            try:
+                entries = list(os.scandir(group_dir))
+            except OSError:
+                continue
+            for entry in entries:
+                if not entry.name.endswith(".tmp"):
+                    continue
+                try:
+                    if entry.stat().st_mtime <= cutoff:
+                        os.unlink(entry.path)
+                        removed += 1
+                except OSError:
+                    continue
+        self.swept_tmp += removed
+        return removed
+
+    def total_bytes(self) -> int:
+        """Summed size of every stored entry."""
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _evict(self) -> None:
+        """Delete least-recently-used entries until under ``max_bytes``.
+
+        Recency is the entry's mtime: writes stamp it, hits refresh it
+        via ``os.utime``.  Racing processes may evict each other's
+        entries; an evicted entry is simply a future miss.
+        """
+        stamped = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        stamped.sort(key=lambda item: (item[0], str(item[2])))
+        for _, size, path in stamped:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+
+    def _group_dirs(self) -> Iterator[Path]:
+        try:
+            children = list(self.root.iterdir())
+        except OSError:
+            return
+        for child in children:
+            if child.is_dir():
+                yield child
+
+    def _entries(self) -> Iterator[Path]:
+        for group_dir in self._group_dirs():
+            try:
+                children = list(group_dir.iterdir())
+            except OSError:
+                continue
+            for child in children:
+                if child.suffix == ".pkl":
+                    yield child
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"RunCache({str(self.root)!r}, hits={self.hits}, "
-                f"misses={self.misses})")
+                f"misses={self.misses}, evictions={self.evictions})")
+
+
+def _decode(blob: bytes) -> Any:
+    """Verify an entry's header and checksum, then unpickle it."""
+    if len(blob) < _HEADER_LEN or not blob.startswith(MAGIC):
+        raise ValueError("missing or foreign cache entry header")
+    digest = blob[len(MAGIC):_HEADER_LEN]
+    payload = blob[_HEADER_LEN:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise ValueError("checksum mismatch (truncated or corrupt entry)")
+    return pickle.loads(payload)

@@ -1,0 +1,160 @@
+"""Structured job outcomes and the engine's fault policy.
+
+The parallel engine used to surface a worker failure the way
+``concurrent.futures`` does — the first ``future.result()`` that raises
+aborts the whole batch and strands its siblings.  A sweep over the
+experiment grid cannot live with that: one bad cell must not cost the
+other hundred.  This module defines the vocabulary the fault-tolerant
+:meth:`~repro.engine.pool.ParallelEngine.map_outcomes` speaks:
+
+* :class:`JobStatus` — the terminal state of one job (``ok`` /
+  ``failed`` / ``timed_out`` / ``cancelled``);
+* :class:`JobReport` — one job's structured outcome: its value on
+  success, the formatted traceback on failure, and how many attempts
+  were consumed (``attempts > 1`` means the job was retried);
+* :class:`FaultPolicy` — the retry/timeout knobs (bounded exponential
+  backoff between attempts, per-job wall-clock timeout, fail-fast);
+* :class:`JobFailedError` — what the strict helpers raise when a job
+  exhausted its budget and no original exception object is available.
+
+Determinism note: a retried job re-executes the same pure function on
+the same pickled spec, so a retry's result is bit-identical to a
+first-try result — retries change provenance (``attempts``), never
+values.  ``tests/engine/test_faults.py`` pins this.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class JobStatus(enum.Enum):
+    """Terminal state of one job inside a batch."""
+
+    OK = "ok"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+    #: Never executed to completion because fail-fast aborted the batch.
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Retry / timeout / abort policy for one batch of jobs.
+
+    Attributes:
+        max_retries: Extra attempts granted to a failed or timed-out
+            job (0 = first failure is final).  A job therefore runs at
+            most ``max_retries + 1`` times.
+        job_timeout: Per-job wall-clock budget in seconds, measured
+            from the submission of the job's wave.  Enforced only on
+            the pooled path — a hung worker process is killed and its
+            pool rebuilt; inline execution cannot preempt a call.
+        backoff_base: First retry delay in seconds; successive retries
+            double it (bounded exponential backoff).  0 disables the
+            sleep (useful in tests).
+        backoff_cap: Upper bound on any single backoff sleep.
+        fail_fast: Abort the batch at the first job that exhausts its
+            retry budget: remaining jobs are cancelled (reported as
+            :attr:`JobStatus.CANCELLED`) instead of executed.
+    """
+
+    max_retries: int = 0
+    job_timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be positive")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff values must be >= 0")
+
+    def backoff(self, failures: int) -> float:
+        """Sleep before the ``failures``-th retry (bounded exponential)."""
+        if failures <= 0 or self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** (failures - 1)))
+
+
+@dataclass
+class JobReport:
+    """Structured outcome of one job in a batch.
+
+    Attributes:
+        index: The job's position in the submitted batch.
+        status: Terminal state.
+        value: The worker's return value (``None`` unless ``ok``).
+        error: Formatted traceback (failures) or a one-line reason
+            (timeouts, cancellations); empty on success.
+        attempts: Execution attempts consumed.  ``attempts > 1`` means
+            the job failed at least once and was retried; cancelled
+            jobs may report 0.
+        exception: The original exception object when one crossed the
+            process boundary — kept so strict callers can re-raise the
+            real type.  Not part of any serialised record.
+    """
+
+    index: int
+    status: JobStatus
+    value: Any = None
+    error: str = ""
+    attempts: int = 1
+    exception: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a value."""
+        return self.status is JobStatus.OK
+
+    @property
+    def retried(self) -> bool:
+        """True when at least one attempt failed before the outcome."""
+        return self.attempts > 1
+
+    def to_exception(self) -> BaseException:
+        """The exception a strict caller should raise for this report."""
+        if self.exception is not None:
+            return self.exception
+        return JobFailedError(
+            f"job {self.index} {self.status.value} after "
+            f"{self.attempts} attempt(s)"
+            + (f": {last_error_line(self.error)}" if self.error else ""),
+            status=self.status, error=self.error)
+
+
+class JobFailedError(RuntimeError):
+    """A job exhausted its retry budget (or was cancelled by fail-fast).
+
+    Carries the terminal :class:`JobStatus` and the worker's formatted
+    traceback so callers that report (rather than crash) keep the full
+    context.
+    """
+
+    def __init__(self, message: str, *,
+                 status: JobStatus = JobStatus.FAILED,
+                 error: str = "") -> None:
+        super().__init__(message)
+        self.status = status
+        self.error = error
+
+
+def last_error_line(text: str) -> str:
+    """The final non-empty line of a traceback — the exception itself."""
+    lines = [line for line in text.strip().splitlines() if line.strip()]
+    return lines[-1] if lines else ""
+
+
+__all__ = [
+    "FaultPolicy",
+    "JobFailedError",
+    "JobReport",
+    "JobStatus",
+    "last_error_line",
+]

@@ -19,6 +19,7 @@ from typing import Optional
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.techniques import TechniqueConfig, build_sm
 from repro.engine.cache import CACHE_VERSION, RunCache
+from repro.engine.faults import JobReport, JobStatus
 from repro.isa.trace import KernelTrace
 from repro.isa.tracegen import TraceGenerator
 from repro.obs.manifest import RunManifest, config_hash
@@ -99,14 +100,60 @@ class SimJob:
 
 @dataclass
 class JobOutcome:
-    """What a worker returns for one :class:`SimJob`."""
+    """What the engine returns for one :class:`SimJob`.
 
-    result: SimResult
+    Successful jobs carry the :class:`~repro.sim.sm.SimResult`; failed
+    ones carry ``result=None`` plus a failure manifest, so a batch with
+    bad cells still comes back whole and in submission order.
+    """
+
+    result: Optional[SimResult]
     manifest: RunManifest
+    status: JobStatus = JobStatus.OK
+    error: str = ""
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a result."""
+        return self.status is JobStatus.OK
+
+
+def failure_manifest(job: SimJob, report: JobReport) -> RunManifest:
+    """Provenance record for a cell that produced no result.
+
+    Pins the failed run to its exact configuration — the same identity
+    a successful manifest carries — so a sweep's manifest list records
+    exactly which cells failed, how often they were attempted, and why.
+    """
+    return RunManifest(
+        benchmark=job.benchmark,
+        technique=job.config.technique.value,
+        seed=job.seed,
+        scale=job.scale,
+        config_hash=config_hash(job.config, job.sm_config),
+        cycles=0,
+        instructions=0,
+        status=report.status.value,
+        error=report.error,
+        attempts=max(report.attempts, 0))
+
+
+def outcome_from_report(job: SimJob, report: JobReport) -> JobOutcome:
+    """Fold one :class:`JobReport` into the sim-job outcome shape."""
+    if report.ok:
+        outcome = report.value
+        outcome.attempts = report.attempts
+        outcome.manifest.attempts = report.attempts
+        return outcome
+    return JobOutcome(result=None, manifest=failure_manifest(job, report),
+                      status=report.status, error=report.error,
+                      attempts=report.attempts)
 
 
 def execute_job(job: SimJob,
-                cache_dir: Optional[str] = None) -> JobOutcome:
+                cache_dir: Optional[str] = None,
+                cache_max_bytes: Optional[int] = None) -> JobOutcome:
     """Execute one grid cell (top-level, hence picklable).
 
     Checks the result cache first; on a miss, builds the (trace-cached)
@@ -116,7 +163,8 @@ def execute_job(job: SimJob,
     usual ``build_trace`` / ``simulate`` phases — and ``worker`` names
     the executing process.
     """
-    cache = RunCache(cache_dir) if cache_dir else None
+    cache = RunCache(cache_dir, max_bytes=cache_max_bytes) \
+        if cache_dir else None
     settings_hash = config_hash(job.config, job.sm_config)
     key = job.cache_key()
 
@@ -198,6 +246,8 @@ __all__ = [
     "SimJob",
     "execute_job",
     "execute_sm_part",
+    "failure_manifest",
     "load_or_build_kernel",
+    "outcome_from_report",
     "trace_cache_key",
 ]

@@ -1,24 +1,64 @@
 """Process-pool fan-out with deterministic, submission-order collection.
 
 :class:`ParallelEngine` is the one object the harness and CLI touch: it
-owns the worker pool (created lazily, reused across batches), the cache
-location, and the fast-forward default for the jobs it runs.  Results
-are collected in submission order — worker scheduling cannot reorder
-the aggregate — and each simulation is itself a deterministic function
-of its job spec, so a ``--jobs 4`` run is bit-identical to ``--jobs 1``.
+owns the worker pool (created lazily, reused across batches, rebuilt
+when a worker kills it), the cache location, the fast-forward default
+and the :class:`~repro.engine.faults.FaultPolicy` for the jobs it runs.
+Results are collected in submission order — worker scheduling cannot
+reorder the aggregate — and each simulation is itself a deterministic
+function of its job spec, so a ``--jobs 4`` run is bit-identical to
+``--jobs 1`` and a retried job is bit-identical to a first-try job.
+
+Fault tolerance (:meth:`ParallelEngine.map_outcomes`):
+
+* a worker exception marks *that job* ``failed`` (with its traceback)
+  and the rest of the batch completes;
+* a per-job timeout kills the hung worker's pool, rebuilds it, and
+  resubmits the unfinished tail — only the expired job is charged;
+* a hard worker death (``BrokenProcessPool``) also rebuilds the pool
+  and resubmits the tail; because a crash cannot be attributed while
+  several jobs share the pool, the engine switches to one-job waves
+  until the culprit is isolated and charged;
+* failed and timed-out jobs are retried up to
+  ``FaultPolicy.max_retries`` times with bounded exponential backoff.
+
+:meth:`ParallelEngine.map` keeps the strict raise-on-error contract for
+callers that want it, but no longer strands siblings: pending futures
+are cancelled and still-running ones awaited before the first error
+(in submission order) is re-raised.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback
+from concurrent.futures import (
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from functools import partial
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, RunCache
-from repro.engine.jobs import JobOutcome, SimJob, execute_job
+from repro.engine.faults import FaultPolicy, JobReport, JobStatus
+from repro.engine.jobs import (
+    JobOutcome,
+    SimJob,
+    execute_job,
+    outcome_from_report,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _format_error(exc: BaseException) -> str:
+    return "".join(traceback.format_exception(type(exc), exc,
+                                              exc.__traceback__))
 
 
 class ParallelEngine:
@@ -33,16 +73,24 @@ class ParallelEngine:
             cross-process coordination is needed).
         fast_forward: Whether jobs built by this engine's helpers run
             with the idle-cycle fast-forward (bit-identical either way).
+        policy: Default :class:`FaultPolicy` for batches run through
+            this engine (no retries, no timeout unless configured).
+        cache_max_bytes: Optional size cap for the persistent cache;
+            workers evict least-recently-used entries past it.
     """
 
     def __init__(self, jobs: int = 1,
                  cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
-                 fast_forward: bool = True) -> None:
+                 fast_forward: bool = True,
+                 policy: Optional[FaultPolicy] = None,
+                 cache_max_bytes: Optional[int] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.fast_forward = fast_forward
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.cache_max_bytes = cache_max_bytes
         self._executor: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
@@ -52,47 +100,302 @@ class ParallelEngine:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item, results in submission order.
 
-        ``fn`` must be picklable (a top-level function or a ``partial``
-        of one) when ``jobs > 1``.  Single-item batches and single-job
-        engines run inline — no pool spin-up for the common case.
+        The strict path: the first failure (in submission order) is
+        re-raised after the rest of the batch has been cancelled or
+        awaited — no future is left running detached.  Honours the
+        engine's retry/timeout policy; ``fn`` must be picklable (a
+        top-level function or a ``partial`` of one) when ``jobs > 1``.
         """
+        reports = self.map_outcomes(
+            fn, items,
+            policy=FaultPolicy(max_retries=self.policy.max_retries,
+                               job_timeout=self.policy.job_timeout,
+                               backoff_base=self.policy.backoff_base,
+                               backoff_cap=self.policy.backoff_cap,
+                               fail_fast=True))
+        for report in reports:
+            if report.status in (JobStatus.FAILED, JobStatus.TIMED_OUT):
+                raise report.to_exception()
+        return [report.value for report in reports]
+
+    def map_outcomes(self, fn: Callable[[T], R], items: Sequence[T],
+                     policy: Optional[FaultPolicy] = None,
+                     ) -> List[JobReport]:
+        """Apply ``fn`` to every item, returning structured outcomes.
+
+        Never raises out of the middle of a batch: every item gets a
+        :class:`JobReport` in submission order, ``ok`` or not.  Worker
+        exceptions, hung workers (``policy.job_timeout``) and hard
+        worker deaths are contained to the jobs they hit; everything
+        else completes.  Retries re-execute the same pure function, so
+        a retried result is bit-identical to a first-try result.
+        """
+        policy = policy if policy is not None else self.policy
         items = list(items)
-        if self.jobs <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        pool = self._pool()
-        futures = [pool.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+        if not items:
+            return []
+        pooled = self.jobs > 1 and (len(items) > 1
+                                    or policy.job_timeout is not None)
+        if not pooled:
+            return self._inline_outcomes(fn, items, policy)
+        return self._pooled_outcomes(fn, items, policy)
+
+    # ------------------------------------------------------------------
+    # inline execution (jobs == 1, or single-item batches)
+    # ------------------------------------------------------------------
+
+    def _inline_outcomes(self, fn: Callable[[T], R], items: Sequence[T],
+                         policy: FaultPolicy) -> List[JobReport]:
+        """In-process path: retries apply, timeouts cannot preempt."""
+        reports: List[JobReport] = []
+        aborted = False
+        for index, item in enumerate(items):
+            if aborted:
+                reports.append(JobReport(
+                    index=index, status=JobStatus.CANCELLED,
+                    error="cancelled by fail-fast", attempts=0))
+                continue
+            failures = 0
+            while True:
+                try:
+                    value = fn(item)
+                except Exception as exc:
+                    failures += 1
+                    if failures <= policy.max_retries:
+                        time.sleep(policy.backoff(failures))
+                        continue
+                    reports.append(JobReport(
+                        index=index, status=JobStatus.FAILED,
+                        error=_format_error(exc), attempts=failures,
+                        exception=exc))
+                    aborted = policy.fail_fast
+                else:
+                    reports.append(JobReport(
+                        index=index, status=JobStatus.OK, value=value,
+                        attempts=failures + 1))
+                break
+        return reports
+
+    # ------------------------------------------------------------------
+    # pooled execution
+    # ------------------------------------------------------------------
+
+    def _pooled_outcomes(self, fn: Callable[[T], R], items: Sequence[T],
+                         policy: FaultPolicy) -> List[JobReport]:
+        """Wave executor: submit pending jobs, settle each in order.
+
+        ``pending`` holds ``(index, failures_so_far)`` pairs.  A wave
+        is normally the whole pending list; after an unattributable
+        pool break it shrinks to one job so the next break names its
+        culprit.  Jobs resubmitted because *another* job broke the
+        pool keep their failure count — recovery never taxes the
+        innocent.
+        """
+        reports: List[Optional[JobReport]] = [None] * len(items)
+        pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(items))]
+        serialize = False
+        while pending:
+            if serialize:
+                wave, pending = pending[:1], pending[1:]
+            else:
+                wave, pending = pending, []
+            retry_round = max((fails for _, fails in wave), default=0)
+            if retry_round:
+                time.sleep(policy.backoff(retry_round))
+            pool = self._pool()
+            wave_start = time.monotonic()
+            submitted = [(index, fails, pool.submit(fn, items[index]))
+                         for index, fails in wave]
+            broke = False
+            aborted = False
+            leftovers: List[Future] = []
+            for index, fails, future in submitted:
+                if aborted:
+                    if not future.cancel() and not future.done():
+                        leftovers.append(future)
+                    reports[index] = JobReport(
+                        index=index, status=JobStatus.CANCELLED,
+                        error="cancelled by fail-fast", attempts=fails)
+                    continue
+                if broke:
+                    # The pool died earlier in this wave: salvage
+                    # results that finished before the break, resubmit
+                    # the rest with their failure counts untouched.
+                    salvage = self._salvage(reports, pending, index,
+                                            fails, future, policy)
+                    aborted = salvage and policy.fail_fast
+                    continue
+                try:
+                    if policy.job_timeout is None:
+                        value = future.result()
+                    else:
+                        left = (policy.job_timeout
+                                - (time.monotonic() - wave_start))
+                        value = future.result(timeout=max(left, 1e-3))
+                except FutureTimeoutError:
+                    self._teardown_pool(kill=True)
+                    broke = True
+                    aborted = self._settle_timeout(reports, pending,
+                                                   index, fails + 1,
+                                                   policy)
+                except BrokenProcessPool as exc:
+                    self._teardown_pool(kill=True)
+                    broke = True
+                    if len(wave) == 1:
+                        # Alone in the pool: the crash is this job's.
+                        aborted = self._settle_failure(
+                            reports, pending, index, fails + 1, exc,
+                            policy)
+                    else:
+                        # Cannot tell which job killed the pool —
+                        # resubmit uncharged, isolate from now on.
+                        serialize = True
+                        pending.append((index, fails))
+                except CancelledError:
+                    pending.append((index, fails))
+                except Exception as exc:
+                    aborted = self._settle_failure(reports, pending,
+                                                   index, fails + 1,
+                                                   exc, policy)
+                else:
+                    reports[index] = JobReport(
+                        index=index, status=JobStatus.OK, value=value,
+                        attempts=fails + 1)
+            if aborted:
+                for index, fails in pending:
+                    reports[index] = JobReport(
+                        index=index, status=JobStatus.CANCELLED,
+                        error="cancelled by fail-fast", attempts=fails)
+                pending = []
+                if leftovers:  # await stragglers: nothing runs detached
+                    wait(leftovers)
+        return reports  # type: ignore[return-value]
+
+    def _salvage(self, reports: List[Optional[JobReport]],
+                 pending: List[Tuple[int, int]], index: int, fails: int,
+                 future: Future, policy: FaultPolicy) -> bool:
+        """After a pool break: harvest a finished future or resubmit.
+
+        Returns True when the job terminally failed (fail-fast cue).
+        """
+        if future.done() and not future.cancelled():
+            try:
+                value = future.result(timeout=0)
+            except (BrokenProcessPool, CancelledError,
+                    FutureTimeoutError):
+                pending.append((index, fails))
+            except Exception as exc:
+                return self._settle_failure(reports, pending, index,
+                                            fails + 1, exc, policy)
+            else:
+                reports[index] = JobReport(
+                    index=index, status=JobStatus.OK, value=value,
+                    attempts=fails + 1)
+            return False
+        future.cancel()
+        pending.append((index, fails))
+        return False
+
+    def _settle_failure(self, reports: List[Optional[JobReport]],
+                        pending: List[Tuple[int, int]], index: int,
+                        failures: int, exc: BaseException,
+                        policy: FaultPolicy) -> bool:
+        """Record one failed attempt; retry or finalise.  True = abort."""
+        if failures <= policy.max_retries:
+            pending.append((index, failures))
+            return False
+        reports[index] = JobReport(
+            index=index, status=JobStatus.FAILED,
+            error=_format_error(exc), attempts=failures, exception=exc)
+        return policy.fail_fast
+
+    def _settle_timeout(self, reports: List[Optional[JobReport]],
+                        pending: List[Tuple[int, int]], index: int,
+                        failures: int, policy: FaultPolicy) -> bool:
+        """Record one expired attempt; retry or finalise.  True = abort."""
+        if failures <= policy.max_retries:
+            pending.append((index, failures))
+            return False
+        reports[index] = JobReport(
+            index=index, status=JobStatus.TIMED_OUT,
+            error=(f"timed out after {policy.job_timeout}s "
+                   f"(attempt {failures}); worker killed"),
+            attempts=failures)
+        return policy.fail_fast
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
         return self._executor
 
+    def _teardown_pool(self, kill: bool = False) -> None:
+        """Drop the executor; with ``kill``, terminate its workers.
+
+        Used when a worker hangs past its timeout (the only way to
+        reclaim it) or the pool is already broken.  The next
+        :meth:`_pool` call builds a fresh executor.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        if kill:
+            processes = list(getattr(executor, "_processes", {})
+                             .values())
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=1.0)
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+
     # ------------------------------------------------------------------
     # simulation jobs
     # ------------------------------------------------------------------
 
-    def run_sim_jobs(self, jobs: Sequence[SimJob]) -> List[JobOutcome]:
-        """Execute a batch of grid cells (cache-aware, order-preserving)."""
-        return self.map(partial(execute_job, cache_dir=self.cache_dir),
-                        jobs)
+    def run_sim_jobs(self, jobs: Sequence[SimJob],
+                     policy: Optional[FaultPolicy] = None,
+                     worker: Optional[Callable[[SimJob], JobOutcome]]
+                     = None) -> List[JobOutcome]:
+        """Execute a batch of grid cells (cache-aware, order-preserving).
 
-    def run_sim_job(self, job: SimJob) -> JobOutcome:
-        """Execute one grid cell inline (still cache-aware)."""
-        return execute_job(job, cache_dir=self.cache_dir)
+        Every cell gets a :class:`JobOutcome` — failed cells carry a
+        failure manifest instead of a result, so a partial grid still
+        returns whole.  ``worker`` overrides the executing callable
+        (the fault-injection seam used by the test-suite).
+        """
+        fn = worker if worker is not None else partial(
+            execute_job, cache_dir=self.cache_dir,
+            cache_max_bytes=self.cache_max_bytes)
+        reports = self.map_outcomes(fn, jobs, policy=policy)
+        return [outcome_from_report(job, report)
+                for job, report in zip(jobs, reports)]
+
+    def run_sim_job(self, job: SimJob,
+                    policy: Optional[FaultPolicy] = None) -> JobOutcome:
+        """Execute one grid cell (still cache-aware and fault-aware)."""
+        return self.run_sim_jobs([job], policy=policy)[0]
 
     def open_cache(self) -> Optional[RunCache]:
         """A cache handle on this engine's directory (None if disabled)."""
-        return RunCache(self.cache_dir) if self.cache_dir else None
+        if not self.cache_dir:
+            return None
+        return RunCache(self.cache_dir, max_bytes=self.cache_max_bytes)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        Pending futures are cancelled rather than drained, so a close
+        mid-failure never waits on work nobody will read.
+        """
         if self._executor is not None:
-            self._executor.shutdown()
+            self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
 
     def __enter__(self) -> "ParallelEngine":
@@ -110,4 +413,5 @@ class ParallelEngine:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ParallelEngine(jobs={self.jobs}, "
                 f"cache_dir={self.cache_dir!r}, "
-                f"fast_forward={self.fast_forward})")
+                f"fast_forward={self.fast_forward}, "
+                f"policy={self.policy})")

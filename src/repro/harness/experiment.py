@@ -20,6 +20,7 @@ from repro.core.techniques import (
     TechniqueConfig,
     build_sm,
 )
+from repro.engine.faults import JobFailedError, last_error_line
 from repro.isa.optypes import ExecUnitKind
 from repro.obs.bus import EventBus
 from repro.obs.manifest import RunManifest, config_hash
@@ -98,6 +99,9 @@ class ExperimentRunner:
         self.bus = bus
         self.engine = engine if bus is None else None
         self._cache: Dict[Tuple, SimResult] = {}
+        #: Cells whose job terminally failed, keyed like ``_cache`` —
+        #: a failed cell raises on access instead of re-simulating.
+        self._failed: Dict[Tuple, object] = {}
         #: Provenance records, one per uncached simulation, in run order.
         self.manifests: List[RunManifest] = []
 
@@ -116,10 +120,18 @@ class ExperimentRunner:
     def run(self, benchmark: str, technique: Technique,
             gating: Optional[GatingParams] = None,
             adaptive: Optional[AdaptiveConfig] = None) -> SimResult:
-        """Run one configuration (memoised)."""
+        """Run one configuration (memoised).
+
+        A cell whose engine job terminally failed (exception, timeout,
+        fail-fast cancellation — after any retries) raises
+        :class:`JobFailedError`; the failure is memoised too, so the
+        cell is never silently re-simulated within this runner.
+        """
         gating = gating or self.settings.gating
         adaptive = adaptive or AdaptiveConfig()
         key = self._key(benchmark, technique, gating, adaptive)
+        if key in self._failed:
+            self._raise_failure(benchmark, technique, self._failed[key])
         if key not in self._cache:
             config = TechniqueConfig(technique=technique, gating=gating,
                                      adaptive=adaptive)
@@ -127,10 +139,27 @@ class ExperimentRunner:
                 outcome = self.engine.run_sim_job(
                     self._job(benchmark, config))
                 self.manifests.append(outcome.manifest)
+                if not outcome.ok:
+                    self._failed[key] = outcome
+                    self._raise_failure(benchmark, technique, outcome)
                 self._cache[key] = outcome.result
             else:
                 self._cache[key] = self._run_uncached(benchmark, config)
         return self._cache[key]
+
+    @staticmethod
+    def _raise_failure(benchmark: str, technique: Technique,
+                       outcome) -> None:
+        reason = last_error_line(outcome.error) or outcome.status.value
+        raise JobFailedError(
+            f"{benchmark}/{technique.value} {outcome.status.value} "
+            f"after {outcome.attempts} attempt(s): {reason}",
+            status=outcome.status, error=outcome.error)
+
+    @property
+    def failures(self) -> List[RunManifest]:
+        """Manifests of the cells that terminally failed, in run order."""
+        return [m for m in self.manifests if not m.ok]
 
     def prefetch(self, requests: Sequence[Tuple]) -> None:
         """Run many configurations at once through the engine.
@@ -156,7 +185,7 @@ class ExperimentRunner:
             adaptive = request[3] if len(request) > 3 and request[3] \
                 is not None else AdaptiveConfig()
             key = self._key(benchmark, technique, gating, adaptive)
-            if key in self._cache or key in seen:
+            if key in self._cache or key in self._failed or key in seen:
                 continue
             seen.add(key)
             keys.append(key)
@@ -166,7 +195,12 @@ class ExperimentRunner:
             return
         for key, outcome in zip(keys, self.engine.run_sim_jobs(jobs)):
             self.manifests.append(outcome.manifest)
-            self._cache[key] = outcome.result
+            if outcome.ok:
+                self._cache[key] = outcome.result
+            else:
+                # Partial grids complete: the failure is memoised and
+                # surfaces as JobFailedError when the cell is read.
+                self._failed[key] = outcome
 
     def _run_uncached(self, benchmark: str,
                       config: TechniqueConfig) -> SimResult:

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.techniques import PAPER_TECHNIQUES, Technique
+from repro.engine.faults import JobFailedError
 from repro.harness.experiment import (
     ExperimentRunner,
     ExperimentSettings,
@@ -22,6 +23,7 @@ from repro.harness.experiment import (
     normalized_performance,
 )
 from repro.isa.optypes import ExecUnitKind
+from repro.obs.manifest import RunManifest
 
 
 @dataclass(frozen=True)
@@ -60,7 +62,9 @@ def _estimate(samples: Sequence[float]) -> MetricEstimate:
 def replicate(settings: ExperimentSettings,
               seeds: Sequence[int] = (0, 1, 2),
               techniques: Sequence[Technique] = PAPER_TECHNIQUES,
-              engine=None) -> List[ReplicatedResult]:
+              engine=None,
+              failure_log: Optional[List[RunManifest]] = None,
+              ) -> List[ReplicatedResult]:
     """Run the headline experiment once per seed and aggregate.
 
     Each seed gets its own runner (fresh traces throughout); within a
@@ -68,6 +72,11 @@ def replicate(settings: ExperimentSettings,
     With an ``engine``, each seed's full (benchmark × technique) grid
     is prefetched over the worker pool before the serial metric loops
     read it back from memory.
+
+    A benchmark whose cell terminally failed under the engine is
+    dropped from that seed's averages instead of aborting the whole
+    replication; pass ``failure_log`` to collect the failed cells'
+    manifests (empty afterwards means every cell succeeded).
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -83,19 +92,30 @@ def replicate(settings: ExperimentSettings,
         for technique in techniques:
             int_vals, fp_vals, perf_vals = [], [], []
             for name in runner.settings.benchmarks:
-                base = runner.baseline(name)
-                result = runner.run(name, technique)
-                int_vals.append(runner.static_savings(
-                    name, technique, ExecUnitKind.INT))
-                if name in runner.fp_benchmarks():
-                    fp_vals.append(runner.static_savings(
-                        name, technique, ExecUnitKind.FP))
-                perf_vals.append(normalized_performance(base, result))
+                try:
+                    base = runner.baseline(name)
+                    result = runner.run(name, technique)
+                    int_val = runner.static_savings(
+                        name, technique, ExecUnitKind.INT)
+                    fp_val = runner.static_savings(
+                        name, technique, ExecUnitKind.FP) \
+                        if name in runner.fp_benchmarks() else None
+                    perf_val = normalized_performance(base, result)
+                except JobFailedError:
+                    continue
+                int_vals.append(int_val)
+                if fp_val is not None:
+                    fp_vals.append(fp_val)
+                perf_vals.append(perf_val)
+            if not int_vals:
+                continue
             bucket = per_technique[technique]
             bucket["int"].append(sum(int_vals) / len(int_vals))
             bucket["fp"].append(sum(fp_vals) / len(fp_vals)
                                 if fp_vals else 0.0)
             bucket["perf"].append(geomean(perf_vals))
+        if failure_log is not None:
+            failure_log.extend(runner.failures)
     return [
         ReplicatedResult(
             technique=technique,

@@ -20,6 +20,7 @@ from repro.analysis.correlation import (
     pearson_r,
 )
 from repro.core.techniques import Technique
+from repro.engine.faults import JobFailedError
 from repro.harness.experiment import (
     ExperimentRunner,
     geomean,
@@ -74,20 +75,25 @@ def idle_detect_sweep(runner: ExperimentRunner,
            for name in runner.settings.benchmarks for v in values])
     results: List[CorrelationResult] = []
     for name in runner.settings.benchmarks:
-        base_cycles = runner.baseline(name).cycles
-        xs: List[float] = []
-        ys: List[float] = []
-        for idle_detect in values:
-            gating = replace(runner.settings.gating,
-                             idle_detect=idle_detect)
-            result = runner.run(name, technique, gating=gating)
-            critical = (result.gating_totals(ExecUnitKind.INT)
-                        .critical_wakeups
-                        + result.gating_totals(ExecUnitKind.FP)
-                        .critical_wakeups)
-            xs.append(critical_wakeups_per_kilocycle(critical,
-                                                     result.cycles))
-            ys.append(result.cycles / base_cycles)
+        try:
+            base_cycles = runner.baseline(name).cycles
+            xs: List[float] = []
+            ys: List[float] = []
+            for idle_detect in values:
+                gating = replace(runner.settings.gating,
+                                 idle_detect=idle_detect)
+                result = runner.run(name, technique, gating=gating)
+                critical = (result.gating_totals(ExecUnitKind.INT)
+                            .critical_wakeups
+                            + result.gating_totals(ExecUnitKind.FP)
+                            .critical_wakeups)
+                xs.append(critical_wakeups_per_kilocycle(critical,
+                                                         result.cycles))
+                ys.append(result.cycles / base_cycles)
+        except JobFailedError:
+            # Failed cell: drop this benchmark's scatter, keep the rest
+            # of the figure.  The runner's manifests name the culprit.
+            continue
         results.append(CorrelationResult(
             benchmark=name, pearson=pearson_r(xs, ys),
             points=tuple(zip(xs, ys))))
@@ -101,14 +107,28 @@ def _suite_point(runner: ExperimentRunner, technique: Technique,
     fp_savings: List[float] = []
     perf: List[float] = []
     for name in runner.settings.benchmarks:
-        base = runner.baseline(name)
-        result = runner.run(name, technique, gating=gating)
-        int_savings.append(runner.static_savings(
-            name, technique, ExecUnitKind.INT, gating=gating))
-        if name in runner.fp_benchmarks():
-            fp_savings.append(runner.static_savings(
-                name, technique, ExecUnitKind.FP, gating=gating))
-        perf.append(normalized_performance(base, result))
+        try:
+            base = runner.baseline(name)
+            result = runner.run(name, technique, gating=gating)
+            int_val = runner.static_savings(
+                name, technique, ExecUnitKind.INT, gating=gating)
+            fp_val = runner.static_savings(
+                name, technique, ExecUnitKind.FP, gating=gating) \
+                if name in runner.fp_benchmarks() else None
+            perf_val = normalized_performance(base, result)
+        except JobFailedError:
+            # Failed cell: average over the surviving benchmarks.
+            continue
+        int_savings.append(int_val)
+        if fp_val is not None:
+            fp_savings.append(fp_val)
+        perf.append(perf_val)
+    if not int_savings:
+        # Every benchmark failed at this point — an all-zero point keeps
+        # the sweep's shape without inventing numbers.
+        return SweepPoint(value=value, technique=technique,
+                          int_savings=0.0, fp_savings=0.0,
+                          performance=0.0)
     return SweepPoint(
         value=value, technique=technique,
         int_savings=sum(int_savings) / len(int_savings),

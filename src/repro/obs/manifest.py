@@ -55,6 +55,12 @@ class RunManifest:
     worker: str = ""
     #: True when the result was served from the persistent run cache.
     cache_hit: bool = False
+    #: Terminal job state: "ok" | "failed" | "timed_out" | "cancelled".
+    status: str = "ok"
+    #: Worker traceback / reason when ``status != "ok"``.
+    error: str = ""
+    #: Execution attempts consumed (> 1 means the job was retried).
+    attempts: int = 1
 
     @property
     def total_seconds(self) -> float:
@@ -84,7 +90,15 @@ class RunManifest:
             "created_at": self.created_at,
             "worker": self.worker,
             "cache_hit": self.cache_hit,
+            "status": self.status,
+            "error": self.error,
+            "attempts": self.attempts,
         }
+
+    @property
+    def ok(self) -> bool:
+        """True when the recorded run completed successfully."""
+        return self.status == "ok"
 
 
 def write_manifests(manifests: Sequence[RunManifest],

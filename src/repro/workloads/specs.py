@@ -68,9 +68,21 @@ class BenchmarkProfile:
 
 
 def _mix(int_f: float, fp_f: float, sfu_f: float,
-         ldst_f: float) -> Dict[OpClass, float]:
-    """Build a mix dict and normalise away rounding slack."""
+         ldst_f: float, name: str = "") -> Dict[OpClass, float]:
+    """Build a mix dict and normalise away rounding slack.
+
+    Raises:
+        ValueError: If all four fractions are zero (or sum to <= 0) —
+            normalising would divide by zero, and an all-zero mix means
+            the spec's row was mistyped, not that the benchmark issues
+            nothing.
+    """
     total = int_f + fp_f + sfu_f + ldst_f
+    if total <= 0:
+        label = f" for {name!r}" if name else ""
+        raise ValueError(
+            f"instruction mix{label}: all four fractions are zero "
+            f"(int={int_f}, fp={fp_f}, sfu={sfu_f}, ldst={ldst_f})")
     return {
         OpClass.INT: int_f / total,
         OpClass.FP: fp_f / total,

@@ -1,5 +1,6 @@
 """Persistent run-cache behaviour: round trips, corruption, atomicity."""
 
+import os
 import pickle
 
 import pytest
@@ -12,6 +13,8 @@ from repro.engine.jobs import (
     load_or_build_kernel,
     trace_cache_key,
 )
+
+from tests.engine.faults import corrupt_cache_entry, plant_stale_tmp
 
 
 class TestRunCache:
@@ -51,6 +54,78 @@ class TestRunCache:
         cache = RunCache(tmp_path)
         cache.put("traces", "key", "a trace")
         assert cache.get("results", "key") is None
+
+
+class TestChecksums:
+    def test_flipped_payload_byte_is_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put("results", "key", list(range(100)))
+        corrupt_cache_entry(cache, "results", "key", mode="flip")
+        assert cache.get("results", "key") is None
+        assert cache.misses == 1
+
+    def test_legacy_raw_pickle_is_miss(self, tmp_path):
+        # Pre-checksum entries were bare pickles; they must read as
+        # misses (and never be unpickled) rather than crash or poison.
+        cache = RunCache(tmp_path)
+        path = cache.path("results", "legacy")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"cycles": 42}))
+        assert cache.get("results", "legacy") is None
+
+    def test_hit_survives_verification(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put("results", "key", {"cycles": 42})
+        assert cache.get("results", "key") == {"cycles": 42}
+
+
+class TestJanitor:
+    def test_stale_tmp_swept_on_open(self, tmp_path):
+        RunCache(tmp_path).put("results", "live", 1)
+        orphan = plant_stale_tmp(tmp_path, age_seconds=7200.0)
+        cache = RunCache(tmp_path)  # opening sweeps
+        assert not orphan.exists()
+        assert cache.swept_tmp == 1
+        assert cache.get("results", "live") == 1  # entries untouched
+
+    def test_fresh_tmp_left_alone(self, tmp_path):
+        RunCache(tmp_path).put("results", "live", 1)
+        fresh = plant_stale_tmp(tmp_path, age_seconds=0.0)
+        cache = RunCache(tmp_path)
+        assert fresh.exists()  # may belong to a live writer
+        assert cache.swept_tmp == 0
+
+    def test_janitor_can_be_disabled(self, tmp_path):
+        RunCache(tmp_path).put("results", "live", 1)
+        orphan = plant_stale_tmp(tmp_path, age_seconds=7200.0)
+        RunCache(tmp_path, janitor=False)
+        assert orphan.exists()
+
+
+class TestSizeCap:
+    def _put(self, cache, key, stamp):
+        cache.put("results", key, bytes(1000))
+        os.utime(cache.path("results", key), (stamp, stamp))
+
+    def test_lru_eviction_past_cap(self, tmp_path):
+        cache = RunCache(tmp_path, max_bytes=3500)
+        for i, key in enumerate(("a", "b", "c")):
+            self._put(cache, key, 1000.0 + i)
+        # A hit refreshes "a": it is no longer the eviction candidate.
+        assert cache.get("results", "a") is not None
+        os.utime(cache.path("results", "a"), (2000.0, 2000.0))
+        self._put(cache, "d", 3000.0)  # pushes total past the cap
+        assert cache.evictions == 1
+        assert cache.get("results", "b") is None  # oldest went
+        for key in ("a", "c", "d"):
+            assert cache.get("results", key) is not None, key
+
+    def test_no_cap_never_evicts(self, tmp_path):
+        cache = RunCache(tmp_path)
+        for i in range(5):
+            cache.put("results", f"k{i}", bytes(1000))
+        assert cache.evictions == 0
+        assert cache.total_bytes() > 5000
 
 
 class TestTraceMemoisation:

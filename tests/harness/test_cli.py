@@ -4,7 +4,9 @@ import json
 
 import pytest
 
-from repro.cli import FIGURE_BUILDERS, build_parser, main
+from repro.cli import FIGURE_BUILDERS, _engine, _failure_exit, \
+    build_parser, main
+from repro.obs.manifest import RunManifest
 
 
 @pytest.fixture(autouse=True)
@@ -181,3 +183,42 @@ class TestEngineFlags:
                      "replicate", "--seeds", "2"])
         assert code == 0
         assert "2 seeds" in capsys.readouterr().out
+
+
+class TestFaultFlags:
+    def test_fault_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["run", "hotspot", "baseline"])
+        assert not args.fail_fast
+        assert args.max_retries == 0
+        assert args.job_timeout is None
+        assert args.cache_cap_mb is None
+
+    def test_fault_flags_reach_the_engine_policy(self):
+        args = build_parser().parse_args(
+            ["--fail-fast", "--max-retries", "2", "--job-timeout", "30",
+             "--cache-cap-mb", "64", "--no-cache",
+             "run", "hotspot", "baseline"])
+        engine = _engine(args)
+        assert engine.policy.fail_fast
+        assert engine.policy.max_retries == 2
+        assert engine.policy.job_timeout == 30.0
+        assert engine.cache_max_bytes == 64 * 2 ** 20
+
+    def test_failure_exit_silent_when_all_ok(self, capsys):
+        ok = RunManifest(benchmark="hotspot", technique="baseline",
+                         seed=0, scale=0.2, config_hash="abc",
+                         cycles=10, instructions=5)
+        assert _failure_exit([ok]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_failure_exit_reports_failed_jobs(self, capsys):
+        failed = RunManifest(benchmark="bfs", technique="conv_pg",
+                             seed=0, scale=0.2, config_hash="abc",
+                             cycles=0, instructions=0, status="failed",
+                             error="Traceback ...\nInjectedCrash: boom",
+                             attempts=2)
+        assert _failure_exit([failed]) == 3
+        err = capsys.readouterr().err
+        assert "bfs" in err and "conv_pg" in err
+        assert "InjectedCrash: boom" in err
+        assert "1 job(s) failed" in err

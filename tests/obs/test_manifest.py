@@ -58,6 +58,23 @@ class TestRunManifest:
         assert record["total_seconds"] == 2.5
         assert record["benchmark"] == "hotspot"
 
+    def test_defaults_to_ok_status(self):
+        manifest = _manifest()
+        assert manifest.ok
+        record = manifest.to_dict()
+        assert record["status"] == "ok"
+        assert record["error"] == ""
+        assert record["attempts"] == 1
+
+    def test_failure_record(self):
+        manifest = _manifest(status="timed_out",
+                             error="timed out after 5s", attempts=3,
+                             cycles=0, instructions=0)
+        assert not manifest.ok
+        record = manifest.to_dict()
+        assert record["status"] == "timed_out"
+        assert record["attempts"] == 3
+
     def test_round_trips_through_file(self, tmp_path):
         manifests = [_manifest(), _manifest(benchmark="bfs", cycles=7)]
         path = tmp_path / "manifests.json"

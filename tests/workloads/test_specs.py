@@ -6,6 +6,7 @@ from repro.isa.optypes import ALL_OP_CLASSES, OpClass
 from repro.workloads.specs import (
     BENCHMARK_NAMES,
     INTEGER_ONLY_BENCHMARKS,
+    _mix,
     get_profile,
     iter_profiles,
 )
@@ -74,3 +75,20 @@ class TestProfiles:
     def test_is_integer_only_flag(self):
         assert get_profile("lavaMD").is_integer_only
         assert not get_profile("sgemm").is_integer_only
+
+
+class TestMixBuilder:
+    def test_normalises_rounding_slack(self):
+        mix = _mix(0.5, 0.3, 0.1, 0.2)  # sums to 1.1
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix[OpClass.INT] == pytest.approx(0.5 / 1.1)
+
+    def test_all_zero_fractions_rejected(self):
+        # Regression: this used to be a bare ZeroDivisionError.
+        with pytest.raises(ValueError,
+                           match="all four fractions are zero"):
+            _mix(0.0, 0.0, 0.0, 0.0)
+
+    def test_all_zero_error_names_the_spec(self):
+        with pytest.raises(ValueError, match="'mystery'"):
+            _mix(0.0, 0.0, 0.0, 0.0, name="mystery")
