@@ -28,7 +28,11 @@ The store is managed, not just a pile of pickles:
   older than :data:`STALE_TMP_AGE` (young ones may belong to a live
   writer and are left alone).
 * **Size cap** (optional): ``max_bytes`` evicts least-recently-used
-  entries after a write; a hit refreshes its entry's recency.
+  entries once the total crosses the cap; a hit refreshes its entry's
+  recency.  The running total is tracked incrementally (one directory
+  scan on the first capped write, O(1) per write after that), so the
+  full scan is only re-paid when eviction actually runs — which also
+  re-syncs the total against other processes' writes.
 """
 
 from __future__ import annotations
@@ -66,7 +70,9 @@ class RunCache:
         max_bytes: Optional total-size cap; exceeding it after a write
             evicts least-recently-used entries until back under.
         janitor: Sweep stale ``.tmp`` orphans when opening an existing
-            cache directory (cheap: one scandir per group).
+            cache directory (one scandir per group).  Engine workers
+            open their per-job caches with this off — the engine
+            sweeps once per batch instead.
         stale_tmp_age: Age in seconds past which a temp file counts as
             orphaned.
     """
@@ -82,6 +88,9 @@ class RunCache:
         self.misses = 0
         self.evictions = 0
         self.swept_tmp = 0
+        #: Approximate stored-bytes total, initialised lazily on the
+        #: first capped write; eviction re-syncs it from disk.
+        self._approx_bytes: Optional[int] = None
         if janitor and self.root.is_dir():
             self.sweep_tmp()
 
@@ -134,7 +143,12 @@ class RunCache:
                 pass
             raise
         if self.max_bytes is not None:
-            self._evict()
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                self._approx_bytes += len(blob)
+            if self._approx_bytes > self.max_bytes:
+                self._evict()
 
     # ------------------------------------------------------------------
     # management
@@ -183,7 +197,9 @@ class RunCache:
 
         Recency is the entry's mtime: writes stamp it, hits refresh it
         via ``os.utime``.  Racing processes may evict each other's
-        entries; an evicted entry is simply a future miss.
+        entries; an evicted entry is simply a future miss.  The scan's
+        exact total replaces the incremental estimate, correcting any
+        drift from overwrites or concurrent writers.
         """
         stamped = []
         total = 0
@@ -194,18 +210,18 @@ class RunCache:
                 continue
             stamped.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
-        if total <= self.max_bytes:
-            return
-        stamped.sort(key=lambda item: (item[0], str(item[2])))
-        for _, size, path in stamped:
-            if total <= self.max_bytes:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            total -= size
-            self.evictions += 1
+        if total > self.max_bytes:
+            stamped.sort(key=lambda item: (item[0], str(item[2])))
+            for _, size, path in stamped:
+                if total <= self.max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                self.evictions += 1
+        self._approx_bytes = total
 
     def _group_dirs(self) -> Iterator[Path]:
         try:

@@ -48,10 +48,12 @@ class FaultPolicy:
         max_retries: Extra attempts granted to a failed or timed-out
             job (0 = first failure is final).  A job therefore runs at
             most ``max_retries + 1`` times.
-        job_timeout: Per-job wall-clock budget in seconds, measured
-            from the submission of the job's wave.  Enforced only on
-            the pooled path — a hung worker process is killed and its
-            pool rebuilt; inline execution cannot preempt a call.
+        job_timeout: Per-job wall-clock budget in seconds, anchored to
+            the moment the job is observed executing on a worker — a
+            job queued behind a busy pool is never charged for its
+            siblings' time.  Enforced only on the pooled path — a hung
+            worker process is killed and its pool rebuilt; inline
+            execution cannot preempt a call.
         backoff_base: First retry delay in seconds; successive retries
             double it (bounded exponential backoff).  0 disables the
             sleep (useful in tests).

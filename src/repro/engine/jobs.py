@@ -162,9 +162,14 @@ def execute_job(job: SimJob,
     ``cache_hit=True`` and a ``cache_load`` wall phase, fresh runs the
     usual ``build_trace`` / ``simulate`` phases — and ``worker`` names
     the executing process.
+
+    The cache is opened with the janitor off: sweeping orphaned temp
+    files is the engine's once-per-batch job
+    (:meth:`~repro.engine.pool.ParallelEngine.run_sim_jobs`), not
+    something every job in every worker should re-pay.
     """
-    cache = RunCache(cache_dir, max_bytes=cache_max_bytes) \
-        if cache_dir else None
+    cache = RunCache(cache_dir, max_bytes=cache_max_bytes,
+                     janitor=False) if cache_dir else None
     settings_hash = config_hash(job.config, job.sm_config)
     key = job.cache_key()
 

@@ -14,11 +14,16 @@ Fault tolerance (:meth:`ParallelEngine.map_outcomes`):
 * a worker exception marks *that job* ``failed`` (with its traceback)
   and the rest of the batch completes;
 * a per-job timeout kills the hung worker's pool, rebuilds it, and
-  resubmits the unfinished tail — only the expired job is charged;
+  resubmits the unfinished tail — each job's budget is anchored to
+  the moment it is observed executing, never to wave submission, so
+  only jobs that actually ran past the budget are charged and a job
+  queued behind a busy pool is never taxed for its siblings' time;
 * a hard worker death (``BrokenProcessPool``) also rebuilds the pool
   and resubmits the tail; because a crash cannot be attributed while
   several jobs share the pool, the engine switches to one-job waves
-  until the culprit is isolated and charged;
+  until the culprit crashes alone and is charged (or every suspect
+  has been exonerated by a clean solo run), then resumes parallel
+  waves — one crash never serialises the rest of a large sweep;
 * failed and timed-out jobs are retried up to
   ``FaultPolicy.max_retries`` times with bounded exponential backoff.
 
@@ -41,7 +46,17 @@ from concurrent.futures import (
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, RunCache
 from repro.engine.faults import FaultPolicy, JobReport, JobStatus
@@ -54,6 +69,11 @@ from repro.engine.jobs import (
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Poll interval (seconds) while watching a wave for per-job timeout
+#: expiry; a job's effective budget is ``job_timeout`` plus at most one
+#: poll of slack.
+_TIMEOUT_POLL = 0.05
 
 
 def _format_error(exc: BaseException) -> str:
@@ -92,6 +112,7 @@ class ParallelEngine:
         self.policy = policy if policy is not None else FaultPolicy()
         self.cache_max_bytes = cache_max_bytes
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._cache_swept = False
 
     # ------------------------------------------------------------------
     # generic mapping
@@ -187,13 +208,15 @@ class ParallelEngine:
         ``pending`` holds ``(index, failures_so_far)`` pairs.  A wave
         is normally the whole pending list; after an unattributable
         pool break it shrinks to one job so the next break names its
-        culprit.  Jobs resubmitted because *another* job broke the
-        pool keep their failure count — recovery never taxes the
-        innocent.
+        culprit, and widens back out the moment the culprit is charged
+        (or every suspect has run alone).  Jobs resubmitted because
+        *another* job broke the pool keep their failure count —
+        recovery never taxes the innocent.
         """
         reports: List[Optional[JobReport]] = [None] * len(items)
         pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(items))]
         serialize = False
+        suspects: Set[int] = set()
         while pending:
             if serialize:
                 wave, pending = pending[:1], pending[1:]
@@ -203,10 +226,13 @@ class ParallelEngine:
             if retry_round:
                 time.sleep(policy.backoff(retry_round))
             pool = self._pool()
-            wave_start = time.monotonic()
             submitted = [(index, fails, pool.submit(fn, items[index]))
                          for index, fails in wave]
-            broke = False
+            expired = self._drive_wave([f for _, _, f in submitted],
+                                       policy)
+            broke = bool(expired)
+            crash_break = False
+            crashed_alone = False
             aborted = False
             leftovers: List[Future] = []
             for index, fails, future in submitted:
@@ -217,39 +243,37 @@ class ParallelEngine:
                         index=index, status=JobStatus.CANCELLED,
                         error="cancelled by fail-fast", attempts=fails)
                     continue
+                if future in expired:
+                    # Ran past its own budget (anchored to when it was
+                    # observed executing, not to wave submission).
+                    aborted = self._settle_timeout(reports, pending,
+                                                   index, fails + 1,
+                                                   policy)
+                    continue
                 if broke:
-                    # The pool died earlier in this wave: salvage
-                    # results that finished before the break, resubmit
-                    # the rest with their failure counts untouched.
+                    # The pool died in this wave: salvage results that
+                    # finished before the break, resubmit the rest
+                    # with their failure counts untouched.
                     salvage = self._salvage(reports, pending, index,
                                             fails, future, policy)
                     aborted = salvage and policy.fail_fast
                     continue
                 try:
-                    if policy.job_timeout is None:
-                        value = future.result()
-                    else:
-                        left = (policy.job_timeout
-                                - (time.monotonic() - wave_start))
-                        value = future.result(timeout=max(left, 1e-3))
-                except FutureTimeoutError:
-                    self._teardown_pool(kill=True)
-                    broke = True
-                    aborted = self._settle_timeout(reports, pending,
-                                                   index, fails + 1,
-                                                   policy)
+                    value = future.result()
                 except BrokenProcessPool as exc:
                     self._teardown_pool(kill=True)
                     broke = True
+                    crash_break = True
                     if len(wave) == 1:
                         # Alone in the pool: the crash is this job's.
+                        crashed_alone = True
                         aborted = self._settle_failure(
                             reports, pending, index, fails + 1, exc,
                             policy)
                     else:
                         # Cannot tell which job killed the pool —
-                        # resubmit uncharged, isolate from now on.
-                        serialize = True
+                        # resubmit uncharged; isolation is decided at
+                        # the end of the wave.
                         pending.append((index, fails))
                 except CancelledError:
                     pending.append((index, fails))
@@ -269,7 +293,89 @@ class ParallelEngine:
                 pending = []
                 if leftovers:  # await stragglers: nothing runs detached
                     wait(leftovers)
+            serialize, suspects = self._isolation_mode(
+                wave, pending, serialize, suspects, crash_break,
+                crashed_alone)
         return reports  # type: ignore[return-value]
+
+    def _drive_wave(self, futures: Sequence[Future],
+                    policy: FaultPolicy) -> FrozenSet[Future]:
+        """Block until the wave settles or a hung job expires.
+
+        Each job's ``job_timeout`` budget is anchored to the moment its
+        future is first *observed* running — a job still queued behind
+        a busy pool is never charged for its siblings' wall time.  (The
+        executor flags a future as running when it enters the worker
+        call queue, so the anchor can lead true execution by the
+        queue's one-extra-item slack; that bites only when every worker
+        is already stuck near the budget.)  On expiry the hung pool is
+        killed and the expired futures returned; the settle phase
+        charges exactly those and resubmits unfinished siblings
+        uncharged.  A pool break ends the wait naturally: the executor
+        marks every outstanding future done with ``BrokenProcessPool``.
+
+        Without a timeout there is nothing to watch: the wave is
+        awaited whole, except under fail-fast, where settling starts
+        immediately so the tail can still be cancelled before it runs.
+        """
+        if policy.job_timeout is None:
+            if not policy.fail_fast:
+                wait(futures)
+            return frozenset()
+        started: Dict[Future, float] = {}
+        while True:
+            _, not_done = wait(futures, timeout=_TIMEOUT_POLL)
+            if not not_done:
+                return frozenset()
+            now = time.monotonic()
+            expired = set()
+            for future in not_done:
+                begun = started.get(future)
+                if begun is None:
+                    if future.running():
+                        started[future] = now
+                elif now - begun > policy.job_timeout:
+                    expired.add(future)
+            if expired:
+                self._teardown_pool(kill=True)
+                return frozenset(expired)
+
+    @staticmethod
+    def _isolation_mode(wave: Sequence[Tuple[int, int]],
+                        pending: Sequence[Tuple[int, int]],
+                        serialize: bool, suspects: Set[int],
+                        crash_break: bool, crashed_alone: bool,
+                        ) -> Tuple[bool, Set[int]]:
+        """Decide whether the next wave runs one job or all of them.
+
+        An unattributable pool break (several jobs shared the pool)
+        marks the wave's unfinished jobs as suspects and switches to
+        one-job waves.  A suspect is cleared once it has run alone:
+        either it crashed the pool by itself — culprit found and
+        charged, every other suspect exonerated at once — or it
+        settled cleanly, shrinking the candidate set.  Parallel waves
+        resume the moment the suspect set drains, so one crash never
+        serialises the rest of a large sweep.
+        """
+        if crashed_alone:
+            return False, set()
+        if crash_break and len(wave) > 1:
+            wave_indices = {index for index, _ in wave}
+            return True, suspects | {index for index, _ in pending
+                                     if index in wave_indices}
+        if serialize and wave:
+            index, fails = wave[0]
+            # A solo job resubmitted with its failure count untouched
+            # (pool killed under it by a sibling-less cancel) is still
+            # unexplained; anything else — settled, charged, or
+            # charged-and-retried — clears it.
+            requeued_uncharged = any(i == index and f == fails
+                                     for i, f in pending)
+            if not requeued_uncharged:
+                suspects.discard(index)
+            if not suspects:
+                return False, suspects
+        return serialize, suspects
 
     def _salvage(self, reports: List[Optional[JobReport]],
                  pending: List[Tuple[int, int]], index: int, fails: int,
@@ -366,12 +472,25 @@ class ParallelEngine:
         returns whole.  ``worker`` overrides the executing callable
         (the fault-injection seam used by the test-suite).
         """
+        self._sweep_cache_once()
         fn = worker if worker is not None else partial(
             execute_job, cache_dir=self.cache_dir,
             cache_max_bytes=self.cache_max_bytes)
         reports = self.map_outcomes(fn, jobs, policy=policy)
         return [outcome_from_report(job, report)
                 for job, report in zip(jobs, reports)]
+
+    def _sweep_cache_once(self) -> None:
+        """One janitor pass per engine, before jobs touch the cache.
+
+        Workers open their caches with the janitor off — re-scanning
+        every group directory per job would grow with cache size — so
+        orphaned ``.tmp`` files are swept here, once, in the parent.
+        """
+        if self._cache_swept or not self.cache_dir:
+            return
+        self._cache_swept = True
+        RunCache(self.cache_dir, janitor=True)
 
     def run_sim_job(self, job: SimJob,
                     policy: Optional[FaultPolicy] = None) -> JobOutcome:

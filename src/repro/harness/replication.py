@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.techniques import PAPER_TECHNIQUES, Technique
 from repro.engine.faults import JobFailedError
@@ -40,12 +40,21 @@ class MetricEstimate:
 
 @dataclass(frozen=True)
 class ReplicatedResult:
-    """Suite-level metrics of one technique across seeds."""
+    """Suite-level metrics of one technique across seeds.
+
+    ``benchmarks`` records the population behind the means: one
+    surviving-benchmark count per contributing seed, identical across
+    techniques — a benchmark that fails *any* cell within a seed is
+    dropped from that whole seed, so cross-technique comparisons always
+    average over the same benchmarks.  A count below the configured
+    suite size flags a partial (failure-reduced) population.
+    """
 
     technique: Technique
     int_savings: MetricEstimate
     fp_savings: MetricEstimate
     performance: MetricEstimate
+    benchmarks: Tuple[int, ...] = ()
 
 
 def _estimate(samples: Sequence[float]) -> MetricEstimate:
@@ -73,15 +82,20 @@ def replicate(settings: ExperimentSettings,
     is prefetched over the worker pool before the serial metric loops
     read it back from memory.
 
-    A benchmark whose cell terminally failed under the engine is
-    dropped from that seed's averages instead of aborting the whole
-    replication; pass ``failure_log`` to collect the failed cells'
-    manifests (empty afterwards means every cell succeeded).
+    A benchmark that terminally fails *any* of its cells under the
+    engine (baseline or any technique) is dropped from the whole seed —
+    not just from the failing technique's averages — so every technique
+    aggregates over the same surviving benchmarks and cross-technique
+    comparisons stay population-equal.  Per-seed survivor counts land
+    in :attr:`ReplicatedResult.benchmarks`; pass ``failure_log`` to
+    collect the failed cells' manifests (empty afterwards means every
+    cell succeeded).
     """
     if not seeds:
         raise ValueError("need at least one seed")
     per_technique: Dict[Technique, Dict[str, List[float]]] = {
         t: {"int": [], "fp": [], "perf": []} for t in techniques}
+    coverage: List[int] = []
     for seed in seeds:
         runner = ExperimentRunner(replace(settings, seed=seed),
                                   engine=engine)
@@ -89,11 +103,15 @@ def replicate(settings: ExperimentSettings,
             [(name, tech)
              for name in runner.settings.benchmarks
              for tech in (Technique.BASELINE, *techniques)])
-        for technique in techniques:
-            int_vals, fp_vals, perf_vals = [], [], []
-            for name in runner.settings.benchmarks:
-                try:
-                    base = runner.baseline(name)
+        # One population per seed: collect every technique's metrics
+        # for a benchmark together, so one failed cell drops the
+        # benchmark from the seed entirely.
+        surviving: Dict[str, Dict[Technique, Tuple]] = {}
+        for name in runner.settings.benchmarks:
+            try:
+                base = runner.baseline(name)
+                cells: Dict[Technique, Tuple] = {}
+                for technique in techniques:
                     result = runner.run(name, technique)
                     int_val = runner.static_savings(
                         name, technique, ExecUnitKind.INT)
@@ -101,34 +119,47 @@ def replicate(settings: ExperimentSettings,
                         name, technique, ExecUnitKind.FP) \
                         if name in runner.fp_benchmarks() else None
                     perf_val = normalized_performance(base, result)
-                except JobFailedError:
-                    continue
-                int_vals.append(int_val)
-                if fp_val is not None:
-                    fp_vals.append(fp_val)
-                perf_vals.append(perf_val)
-            if not int_vals:
+                    cells[technique] = (int_val, fp_val, perf_val)
+            except JobFailedError:
                 continue
+            surviving[name] = cells
+        if failure_log is not None:
+            failure_log.extend(runner.failures)
+        if not surviving:
+            continue
+        coverage.append(len(surviving))
+        for technique in techniques:
+            int_vals = [cells[technique][0]
+                        for cells in surviving.values()]
+            fp_vals = [cells[technique][1]
+                       for cells in surviving.values()
+                       if cells[technique][1] is not None]
+            perf_vals = [cells[technique][2]
+                         for cells in surviving.values()]
             bucket = per_technique[technique]
             bucket["int"].append(sum(int_vals) / len(int_vals))
             bucket["fp"].append(sum(fp_vals) / len(fp_vals)
                                 if fp_vals else 0.0)
             bucket["perf"].append(geomean(perf_vals))
-        if failure_log is not None:
-            failure_log.extend(runner.failures)
     return [
         ReplicatedResult(
             technique=technique,
             int_savings=_estimate(per_technique[technique]["int"]),
             fp_savings=_estimate(per_technique[technique]["fp"]),
-            performance=_estimate(per_technique[technique]["perf"]))
+            performance=_estimate(per_technique[technique]["perf"]),
+            benchmarks=tuple(coverage))
         for technique in techniques
     ]
 
 
 def replication_rows(results: Sequence[ReplicatedResult],
                      ) -> List[List[object]]:
-    """Tabular form (one row per technique)."""
+    """Tabular form (one row per technique).
+
+    ``benchmarks`` renders the per-seed survivor counts (e.g. ``3/3/2``
+    for three seeds) so a partial population is visible right in the
+    headline table.
+    """
     rows: List[List[object]] = []
     for result in results:
         rows.append([
@@ -136,9 +167,10 @@ def replication_rows(results: Sequence[ReplicatedResult],
             result.int_savings.mean, result.int_savings.stdev,
             result.fp_savings.mean, result.fp_savings.stdev,
             result.performance.mean, result.performance.stdev,
+            "/".join(str(n) for n in result.benchmarks),
         ])
     return rows
 
 
 REPLICATION_HEADERS = ("technique", "int_mean", "int_sd", "fp_mean",
-                       "fp_sd", "perf_mean", "perf_sd")
+                       "fp_sd", "perf_mean", "perf_sd", "benchmarks")

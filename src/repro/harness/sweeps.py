@@ -12,8 +12,9 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.correlation import (
     critical_wakeups_per_kilocycle,
@@ -37,13 +38,25 @@ IDLE_DETECT_VALUES: Tuple[int, ...] = tuple(range(0, 11))
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (parameter value, technique) cell of a Figure 11 panel."""
+    """One (parameter value, technique) cell of a Figure 11 panel.
+
+    ``benchmarks`` counts the surviving runs behind the averages; 0
+    means every benchmark failed at this point, in which case the
+    metrics are NaN — a failed point is never rendered as a measured
+    zero.
+    """
 
     value: int
     technique: Technique
     int_savings: float
     fp_savings: float
     performance: float
+    benchmarks: int
+
+    @property
+    def failed(self) -> bool:
+        """True when no benchmark survived at this sweep point."""
+        return self.benchmarks == 0
 
 
 @dataclass(frozen=True)
@@ -124,16 +137,18 @@ def _suite_point(runner: ExperimentRunner, technique: Technique,
             fp_savings.append(fp_val)
         perf.append(perf_val)
     if not int_savings:
-        # Every benchmark failed at this point — an all-zero point keeps
-        # the sweep's shape without inventing numbers.
+        # Every benchmark failed at this point: keep the sweep's shape
+        # but mark the point failed (NaN metrics, zero population)
+        # instead of fabricating a measured-looking zero.
+        nan = float("nan")
         return SweepPoint(value=value, technique=technique,
-                          int_savings=0.0, fp_savings=0.0,
-                          performance=0.0)
+                          int_savings=nan, fp_savings=nan,
+                          performance=nan, benchmarks=0)
     return SweepPoint(
         value=value, technique=technique,
         int_savings=sum(int_savings) / len(int_savings),
         fp_savings=sum(fp_savings) / len(fp_savings) if fp_savings else 0.0,
-        performance=geomean(perf))
+        performance=geomean(perf), benchmarks=len(int_savings))
 
 
 def bet_sweep(runner: ExperimentRunner,
@@ -182,10 +197,20 @@ def wakeup_sweep(runner: ExperimentRunner,
 
 
 def sweep_rows(points: Sequence[SweepPoint]) -> List[List[object]]:
-    """Tabular form of a Figure 11 panel."""
-    return [[p.value, p.technique.value, p.int_savings, p.fp_savings,
-             p.performance] for p in points]
+    """Tabular form of a Figure 11 panel.
+
+    A failed point's NaN metrics are emitted as ``None`` (empty CSV
+    field, JSON ``null``) so exported tables cannot mistake a failed
+    point for a measurement; the ``benchmarks`` column says how many
+    runs are behind each row.
+    """
+    def cell(metric: float) -> Optional[float]:
+        return None if math.isnan(metric) else metric
+
+    return [[p.value, p.technique.value, cell(p.int_savings),
+             cell(p.fp_savings), cell(p.performance), p.benchmarks]
+            for p in points]
 
 
 SWEEP_HEADERS = ("value", "technique", "int_savings", "fp_savings",
-                 "performance")
+                 "performance", "benchmarks")

@@ -101,6 +101,26 @@ class TestJanitor:
         RunCache(tmp_path, janitor=False)
         assert orphan.exists()
 
+    def test_execute_job_leaves_sweeping_to_the_engine(self, tmp_path):
+        # Workers open their per-job caches without the janitor: a
+        # per-job directory scan would grow with cache size.
+        orphan = plant_stale_tmp(tmp_path, age_seconds=7200.0)
+        job = SimJob(benchmark="hotspot",
+                     config=TechniqueConfig(Technique.BASELINE),
+                     scale=0.2)
+        execute_job(job, cache_dir=str(tmp_path))
+        assert orphan.exists()
+
+    def test_engine_sweeps_once_per_batch(self, tmp_path):
+        from repro.engine import ParallelEngine
+        orphan = plant_stale_tmp(tmp_path, age_seconds=7200.0)
+        job = SimJob(benchmark="hotspot",
+                     config=TechniqueConfig(Technique.BASELINE),
+                     scale=0.2)
+        with ParallelEngine(jobs=1, cache_dir=str(tmp_path)) as engine:
+            engine.run_sim_jobs([job])
+        assert not orphan.exists()
+
 
 class TestSizeCap:
     def _put(self, cache, key, stamp):
@@ -126,6 +146,18 @@ class TestSizeCap:
             cache.put("results", f"k{i}", bytes(1000))
         assert cache.evictions == 0
         assert cache.total_bytes() > 5000
+
+    def test_puts_under_cap_do_not_rescan(self, tmp_path, monkeypatch):
+        cache = RunCache(tmp_path, max_bytes=1_000_000)
+        cache.put("results", "seed", bytes(1000))  # one initial scan
+        scans = []
+        monkeypatch.setattr(
+            cache, "total_bytes",
+            lambda: scans.append(1) or 0)
+        for i in range(10):
+            cache.put("results", f"k{i}", bytes(1000))
+        assert scans == []  # size tracked incrementally, O(1) per put
+        assert cache.evictions == 0
 
 
 class TestTraceMemoisation:

@@ -32,6 +32,35 @@ from tests.engine.faults import (
 FAST = dict(backoff_base=0.0)
 
 
+class _SubmitCounter:
+    """Executor proxy that counts this wave's submissions."""
+
+    def __init__(self, pool, sizes):
+        self._pool = pool
+        self._sizes = sizes
+
+    def submit(self, fn, *args, **kwargs):
+        self._sizes[-1] += 1
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._pool, name)
+
+
+class _WaveSpyEngine(ParallelEngine):
+    """Records how many jobs each wave submitted (``_pool`` is called
+    exactly once per wave)."""
+
+    def __init__(self, sizes, **kwargs):
+        super().__init__(**kwargs)
+        self.wave_sizes = sizes
+
+    def _pool(self):
+        pool = super()._pool()
+        self.wave_sizes.append(0)
+        return _SubmitCounter(pool, self.wave_sizes)
+
+
 class TestInlineOutcomes:
     def test_crash_is_contained_to_its_job(self):
         engine = ParallelEngine(jobs=1, cache_dir=None)
@@ -105,6 +134,22 @@ class TestPooledOutcomes:
             # The pool was rebuilt: the engine still works.
             assert engine.map(square, [7]) == [49]
 
+    def test_parallel_waves_resume_after_culprit_charged(self):
+        # An unattributable crash serialises into one-job waves only
+        # until the culprit crashes alone and is charged; the rest of
+        # the batch must then run in parallel again, not one per wave.
+        sizes = []
+        with _WaveSpyEngine(sizes, jobs=2, cache_dir=None) as engine:
+            worker = FaultyWorker(square, FaultPlan(
+                exit=(0,), hang=tuple(range(1, 10)), hang_seconds=0.2))
+            reports = engine.map_outcomes(worker, range(10))
+        assert reports[0].status is JobStatus.FAILED
+        for i in range(1, 10):
+            assert reports[i].ok and reports[i].value == i * i, i
+        assert sizes[0] == 10          # first wave fans the whole batch
+        assert 1 in sizes              # the culprit ran alone once
+        assert sizes[-1] > 1           # parallelism restored afterwards
+
     def test_timeout_kills_hung_worker_and_charges_it(self):
         with ParallelEngine(jobs=2, cache_dir=None) as engine:
             worker = FaultyWorker(square, FaultPlan(hang=(1,)))
@@ -115,6 +160,21 @@ class TestPooledOutcomes:
         assert "timed out" in reports[1].error
         for i in (0, 2, 3):
             assert reports[i].ok and reports[i].value == i * i, i
+
+    def test_queued_jobs_are_not_charged_by_siblings_time(self):
+        # 8 x 0.4s jobs on 2 workers: the wave takes ~1.6s wall, well
+        # past the 1.5s budget — but each job's own runtime is far
+        # under it.  The budget is per job, anchored to when the job
+        # starts running, so nothing may time out.
+        with ParallelEngine(jobs=2, cache_dir=None) as engine:
+            worker = FaultyWorker(square, FaultPlan(
+                hang=tuple(range(8)), hang_seconds=0.4))
+            reports = engine.map_outcomes(
+                worker, range(8),
+                policy=FaultPolicy(job_timeout=1.5, **FAST))
+        assert [r.status for r in reports] == [JobStatus.OK] * 8
+        assert [r.value for r in reports] == [i * i for i in range(8)]
+        assert all(r.attempts == 1 for r in reports)
 
     def test_retried_job_is_bit_identical(self, tmp_path):
         with ParallelEngine(jobs=2, cache_dir=None) as engine:
@@ -234,10 +294,12 @@ class TestHarnessIntegration:
                                techniques=(Technique.CONV_PG,))
         assert len(points) == 1
         assert points[0].performance > 0  # hotspot survived
+        assert points[0].benchmarks == 1  # ... and is flagged as alone
         assert len(runner.failures) == 1
 
-    def test_sweep_point_all_failed_is_zeroed(self):
-        from repro.harness.sweeps import bet_sweep
+    def test_sweep_point_all_failed_is_nan_not_zero(self):
+        import math
+        from repro.harness.sweeps import bet_sweep, sweep_rows
         from repro.harness.experiment import ExperimentRunner
         plan = FaultPlan(crash=("hotspot/conv_pg/s0", "bfs/conv_pg/s0"))
         with FaultyEngine(plan, jobs=1, cache_dir=None) as engine:
@@ -245,8 +307,16 @@ class TestHarnessIntegration:
             points = bet_sweep(runner, values=(14,),
                                techniques=(Technique.CONV_PG,))
         assert len(points) == 1
-        assert points[0].int_savings == 0.0
-        assert points[0].performance == 0.0
+        point = points[0]
+        assert point.failed and point.benchmarks == 0
+        # NaN, not a measured-looking 0.0 ...
+        assert math.isnan(point.int_savings)
+        assert math.isnan(point.performance)
+        # ... and rows render the metrics as None (CSV empty, JSON
+        # null), never as numbers.
+        row = sweep_rows(points)[0]
+        assert row[2:5] == [None, None, None]
+        assert row[5] == 0
 
     def test_replicate_drops_failed_benchmark_and_logs_it(self):
         from repro.harness.replication import replicate
@@ -259,4 +329,5 @@ class TestHarnessIntegration:
         assert len(results) == 1
         assert results[0].performance.n == 1  # hotspot carried the seed
         assert results[0].performance.mean > 0
+        assert results[0].benchmarks == (1,)  # coverage is visible
         assert [m.benchmark for m in failure_log] == ["bfs"]

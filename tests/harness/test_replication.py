@@ -45,6 +45,7 @@ class TestReplicate:
         for result in results:
             assert result.int_savings.n == 2
             assert result.performance.n == 2
+            assert result.benchmarks == (2, 2)  # full population, both seeds
 
     def test_single_seed_zero_spread(self):
         results = replicate(SETTINGS, seeds=(0,),

@@ -43,8 +43,10 @@ class TestBetSweep:
             assert point.performance > 0.5
 
     def test_rows_format(self, runner):
-        rows = sweep_rows(bet_sweep(runner, values=(14,)))
-        assert len(rows[0]) == 5
+        points = bet_sweep(runner, values=(14,))
+        rows = sweep_rows(points)
+        assert len(rows[0]) == 5 + 1  # metrics + benchmark coverage
+        assert all(not p.failed and p.benchmarks == 2 for p in points)
 
 
 class TestWakeupSweep:
