@@ -34,13 +34,24 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.isa.optypes import OpClass
 from repro.obs.events import PriorityFlip
-from repro.sim.sched.base import IssueCandidate, SchedulerView, WarpScheduler
+from repro.sim.sched.base import (IssueCandidate, SchedulerView,
+                                  WarpScheduler, rotated_ready)
+
+#: Issue-priority class order for each possible highest type — the
+#: [highest, LDST, SFU, lowest] ladder of section 4, precomputed once so
+#: the per-cycle ordering never rebuilds a rank dict.
+_CLASS_ORDER = {
+    OpClass.INT: (OpClass.INT, OpClass.LDST, OpClass.SFU, OpClass.FP),
+    OpClass.FP: (OpClass.FP, OpClass.LDST, OpClass.SFU, OpClass.INT),
+}
 
 
 class GatesScheduler(WarpScheduler):
     """Gating-aware two-level warp scheduler."""
 
     name = "gates"
+    # ``order`` filters on the ready bit immediately.
+    needs_all_candidates = False
 
     def __init__(self, n_slots: int = 48,
                  max_priority_cycles: Optional[int] = None,
@@ -75,12 +86,28 @@ class GatesScheduler(WarpScheduler):
     def order(self, cycle: int, candidates: Sequence[IssueCandidate],
               view: SchedulerView) -> List[IssueCandidate]:
         self._update_priority(cycle, view)
-        rank = self._priority_ranks()
-        ready = [c for c in candidates if c.ready]
         start = (self._last_slot + 1) % self.n_slots
-        ready.sort(key=lambda c: (rank[c.op_class],
-                                  (c.slot - start) % self.n_slots))
-        return ready
+        # Bucket by instruction type, then rotate each bucket.  The
+        # buckets preserve input order, so this equals the old stable
+        # composite-key sort on (type rank, rotated slot) — radix-style
+        # — without per-comparison rank lookups on the hot path.
+        by_class: Dict[OpClass, List[IssueCandidate]] = {}
+        for cand in candidates:
+            if cand.ready:
+                cls = cand.inst.op_class
+                bucket = by_class.get(cls)
+                if bucket is None:
+                    by_class[cls] = [cand]
+                else:
+                    bucket.append(cand)
+        if not by_class:
+            return []
+        ordered: List[IssueCandidate] = []
+        for cls in _CLASS_ORDER[self._highest]:
+            bucket = by_class.get(cls)
+            if bucket:
+                ordered.extend(rotated_ready(bucket, start, self.n_slots))
+        return ordered
 
     def on_issue(self, cycle: int, candidate: IssueCandidate) -> None:
         self._last_slot = candidate.slot
@@ -105,10 +132,6 @@ class GatesScheduler(WarpScheduler):
     # ------------------------------------------------------------------
     # priority logic
     # ------------------------------------------------------------------
-
-    def _priority_ranks(self) -> Dict[OpClass, int]:
-        lowest = OpClass.FP if self._highest is OpClass.INT else OpClass.INT
-        return {self._highest: 0, OpClass.LDST: 1, OpClass.SFU: 2, lowest: 3}
 
     def _update_priority(self, cycle: int, view: SchedulerView) -> None:
         hi = self._highest

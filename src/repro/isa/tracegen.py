@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 import numpy as np
 
@@ -149,7 +149,11 @@ class TraceGenerator:
         rng = np.random.default_rng(
             np.random.SeedSequence(entropy=self.seed,
                                    spawn_key=(name_key,)))
-        warps = [self._generate_warp(warp_id, rng)
+        # The mix distribution is constant across warps; build it once.
+        probs = np.array([self.spec.mix.get(cls, 0.0)
+                          for cls in ALL_OP_CLASSES], dtype=float)
+        probs = probs / probs.sum()
+        warps = [self._generate_warp(warp_id, rng, probs)
                  for warp_id in range(self.spec.n_warps)]
         return KernelTrace(name=self.spec.name, warps=warps,
                            max_resident_warps=self.spec.max_resident_warps)
@@ -158,10 +162,28 @@ class TraceGenerator:
     # internals
     # ------------------------------------------------------------------
 
-    def _generate_warp(self, warp_id: int,
-                       rng: np.random.Generator) -> WarpTrace:
+    def _generate_warp(self, warp_id: int, rng: np.random.Generator,
+                       probs: np.ndarray) -> WarpTrace:
+        """Generate one warp's instruction stream.
+
+        This is the whole-suite generation hot loop, so the source/memory
+        sampling is inlined with every per-instruction lookup hoisted to
+        a local.  The RNG draw sequence (order, method, and arguments of
+        every call) is part of the trace contract: two generators with
+        the same spec and seed must keep producing byte-identical
+        streams, so any edit here has to preserve it exactly.  Opcode
+        selection indexes the tuple with ``integers(0, n)`` — the precise
+        draw ``Generator.choice`` makes internally — instead of paying
+        ``choice``'s per-call array conversion.
+        """
         spec = self.spec
-        classes = self._sample_op_classes(rng)
+        # Instruction types are drawn i.i.d. from the mix; short
+        # same-type runs appear naturally (as in real code) while the
+        # long-run frequencies converge to Figure 5a's measured mix.
+        classes = [ALL_OP_CLASSES[i]
+                   for i in rng.choice(len(ALL_OP_CLASSES),
+                                       size=spec.instructions_per_warp,
+                                       p=probs)]
         instructions: List[Instruction] = []
         # Destination registers rotate through the register file so that
         # dependency distance maps onto distinct registers.
@@ -169,86 +191,84 @@ class TraceGenerator:
         recent_lines: List[int] = []
         # Give each warp a private slice of the footprint plus a shared
         # region, mimicking blocked data-parallel access patterns.
-        warp_base = (warp_id * 97) % max(1, spec.footprint_lines)
+        footprint = spec.footprint_lines
+        warp_base = (warp_id * 97) % max(1, footprint)
+        # A zero branch probability never consumes randomness and always
+        # yields full warps, so the divergence model can be skipped
+        # entirely without perturbing the stream.
+        diverges = spec.branch_prob != 0.0
         divergence = DivergenceModel(spec.branch_prob,
                                      spec.divergence_length)
 
+        rng_random = rng.random
+        rng_integers = rng.integers
+        rng_geometric = rng.geometric
+        div_step = divergence.step
+        append = instructions.append
+        dep_prob = spec.dep_prob
+        # Geometric distance back into the recent-producer window.
+        geo_p = 1.0 / max(1.0, spec.dep_distance_mean)
+        shared_fraction = spec.shared_fraction
+        locality = spec.locality
+        load_fraction = spec.load_fraction
+        latency_of = spec.latency_by_class
+        ldst = OpClass.LDST
+        ldst_latency = latency_of[ldst]
+        reuse_window = self._REUSE_WINDOW
+        shared_space = MemorySpace.SHARED
+        global_space = MemorySpace.GLOBAL
+
         for position, op_class in enumerate(classes):
-            lanes = divergence.step(rng)
+            lanes = div_step(rng) if diverges else 32
             dest = position % REGS_PER_WARP
-            srcs = self._sample_sources(rng, recent_dests)
-            if op_class is OpClass.LDST:
-                inst = self._make_mem_instruction(
-                    rng, dest, srcs, warp_base, recent_lines, lanes)
+            # Pick 1-2 source registers, biased toward recent producers.
+            srcs: List[int] = []
+            for _ in range(1 + (rng_random() < 0.6)):
+                if recent_dests and rng_random() < dep_prob:
+                    distance = int(rng_geometric(geo_p))
+                    n_recent = len(recent_dests)
+                    if distance > n_recent:
+                        distance = n_recent
+                    srcs.append(recent_dests[-distance])
+                else:
+                    srcs.append(int(rng_integers(0, REGS_PER_WARP)))
+            srcs_t = tuple(srcs)
+            if op_class is ldst:
+                shared = rng_random() < shared_fraction
+                if recent_lines and rng_random() < locality:
+                    line = recent_lines[int(rng_integers(0,
+                                                         len(recent_lines)))]
+                else:
+                    line = (warp_base
+                            + int(rng_integers(0, footprint))) % footprint
+                recent_lines.append(line)
+                if len(recent_lines) > reuse_window:
+                    recent_lines.pop(0)
+                space = shared_space if shared else global_space
+                if rng_random() < load_fraction:
+                    inst = Instruction(opcode="LD", op_class=ldst,
+                                       dest=dest, srcs=srcs_t,
+                                       latency=ldst_latency,
+                                       is_load=True, mem_space=space,
+                                       line_addr=line, active_lanes=lanes)
+                else:
+                    inst = Instruction(opcode="ST", op_class=ldst,
+                                       dest=None, srcs=srcs_t,
+                                       latency=ldst_latency,
+                                       is_store=True, mem_space=space,
+                                       line_addr=line, active_lanes=lanes)
             else:
-                opcode = str(rng.choice(_OPCODES[op_class]))
+                ops = _OPCODES[op_class]
                 inst = Instruction(
-                    opcode=opcode, op_class=op_class, dest=dest, srcs=srcs,
-                    latency=spec.latency_by_class[op_class],
-                    active_lanes=lanes)
-            instructions.append(inst)
+                    opcode=ops[int(rng_integers(0, len(ops)))],
+                    op_class=op_class, dest=dest, srcs=srcs_t,
+                    latency=latency_of[op_class], active_lanes=lanes)
+            append(inst)
             if inst.dest is not None:
                 recent_dests.append(inst.dest)
                 if len(recent_dests) > REGS_PER_WARP:
                     recent_dests.pop(0)
         return WarpTrace(warp_id=warp_id, instructions=tuple(instructions))
-
-    def _sample_op_classes(self, rng: np.random.Generator) -> List[OpClass]:
-        """Sample the warp's instruction-type sequence from the mix.
-
-        Types are drawn i.i.d.; short same-type runs appear naturally (as
-        in real code) while the long-run frequencies converge to the
-        spec's mix, which is what Figure 5a characterises.
-        """
-        probs = np.array([self.spec.mix.get(cls, 0.0)
-                          for cls in ALL_OP_CLASSES], dtype=float)
-        probs = probs / probs.sum()
-        draws = rng.choice(len(ALL_OP_CLASSES),
-                           size=self.spec.instructions_per_warp, p=probs)
-        return [ALL_OP_CLASSES[i] for i in draws]
-
-    def _sample_sources(self, rng: np.random.Generator,
-                        recent_dests: Sequence[int]) -> Tuple[int, ...]:
-        """Pick 1-2 source registers, biased toward recent producers."""
-        n_srcs = 1 + int(rng.random() < 0.6)
-        srcs: List[int] = []
-        for _ in range(n_srcs):
-            if recent_dests and rng.random() < self.spec.dep_prob:
-                # Geometric distance back into the recent-producer window.
-                p = 1.0 / max(1.0, self.spec.dep_distance_mean)
-                distance = min(int(rng.geometric(p)), len(recent_dests))
-                srcs.append(recent_dests[-distance])
-            else:
-                srcs.append(int(rng.integers(0, REGS_PER_WARP)))
-        return tuple(srcs)
-
-    def _make_mem_instruction(self, rng: np.random.Generator, dest: int,
-                              srcs: Tuple[int, ...], warp_base: int,
-                              recent_lines: List[int],
-                              lanes: int = 32) -> Instruction:
-        spec = self.spec
-        shared = rng.random() < spec.shared_fraction
-        if recent_lines and rng.random() < spec.locality:
-            line = recent_lines[int(rng.integers(0, len(recent_lines)))]
-        else:
-            line = (warp_base + int(rng.integers(0, spec.footprint_lines))) \
-                % spec.footprint_lines
-        recent_lines.append(line)
-        if len(recent_lines) > self._REUSE_WINDOW:
-            recent_lines.pop(0)
-        space = MemorySpace.SHARED if shared else MemorySpace.GLOBAL
-        is_load = rng.random() < spec.load_fraction
-        if is_load:
-            return Instruction(opcode="LD", op_class=OpClass.LDST,
-                               dest=dest, srcs=srcs,
-                               latency=spec.latency_by_class[OpClass.LDST],
-                               is_load=True, mem_space=space,
-                               line_addr=line, active_lanes=lanes)
-        return Instruction(opcode="ST", op_class=OpClass.LDST,
-                           dest=None, srcs=srcs,
-                           latency=spec.latency_by_class[OpClass.LDST],
-                           is_store=True, mem_space=space,
-                           line_addr=line, active_lanes=lanes)
 
 
 def generate_kernel(spec: TraceSpec, seed: int = 0) -> KernelTrace:

@@ -44,7 +44,8 @@ Handler = Callable[[Event], None]
 class EventBus:
     """Synchronous publish/subscribe fan-out for simulator events."""
 
-    __slots__ = ("enabled", "events_published", "_by_type", "_all")
+    __slots__ = ("enabled", "events_published", "_by_type", "_all",
+                 "_dispatch")
 
     def __init__(self, enabled: bool = False) -> None:
         #: Hot-path flag; publish sites read this before building events.
@@ -55,6 +56,11 @@ class EventBus:
         self._by_type: DefaultDict[Type[Event], List[Handler]] = \
             defaultdict(list)
         self._all: List[Handler] = []
+        #: Per-event-type flattened handler tuples (typed subscribers
+        #: first, then subscribe-to-all, i.e. publication order), built
+        #: lazily on first publish of each type and dropped whenever the
+        #: subscription lists change.
+        self._dispatch: dict = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -83,6 +89,7 @@ class EventBus:
                 self._by_type[event_type].append(handler)
         else:
             self._all.append(handler)
+        self._dispatch.clear()
         return handler
 
     def unsubscribe(self, handler: Handler) -> None:
@@ -92,6 +99,7 @@ class EventBus:
                 handlers.remove(handler)
         while handler in self._all:
             self._all.remove(handler)
+        self._dispatch.clear()
 
     @property
     def subscriber_count(self) -> int:
@@ -109,9 +117,13 @@ class EventBus:
         if not self.enabled:
             return
         self.events_published += 1
-        for handler in self._by_type.get(type(event), ()):
-            handler(event)
-        for handler in self._all:
+        event_type = type(event)
+        handlers = self._dispatch.get(event_type)
+        if handlers is None:
+            handlers = self._dispatch[event_type] = (
+                tuple(self._by_type.get(event_type, ()))
+                + tuple(self._all))
+        for handler in handlers:
             handler(event)
 
 

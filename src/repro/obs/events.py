@@ -38,6 +38,13 @@ event                   published by / meaning
 Events deliberately carry *names* (domain / unit / kernel strings), not
 object references, so exporters can serialise them without touching
 simulator internals.
+
+Events are immutable *by convention*, not enforcement: publish sites sit
+in the cycle loop and a ``frozen=True`` ``__init__`` (one
+``object.__setattr__`` per field) more than doubles construction cost,
+which is most of the instrumented-run overhead.  Treat a published event
+as read-only — the bus may hand the same instance to several handlers,
+and the SM reuses one instance for identical same-cycle records.
 """
 
 from __future__ import annotations
@@ -46,7 +53,7 @@ from dataclasses import dataclass, fields
 from typing import Dict, Tuple
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Event:
     """Base class: anything that happened at a simulated cycle."""
 
@@ -65,14 +72,14 @@ class Event:
         return record
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class GateOn(Event):
     """A domain's sleep switch closed at the end of ``cycle``."""
 
     domain: str
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class GateOff(Event):
     """A gated window ended at ``cycle`` (wakeup or end of run).
 
@@ -88,7 +95,7 @@ class GateOff(Event):
     final: bool = False
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Wakeup(Event):
     """A wakeup was granted at ``cycle``; the domain is usable after
     ``delay`` more cycles.  ``critical`` is the Figure 6 event: the
@@ -99,7 +106,7 @@ class Wakeup(Event):
     delay: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class BlackoutBlocked(Event):
     """A wakeup request was denied: the domain must sleep through its
     break-even time.  ``remaining`` counts the blackout cycles left."""
@@ -108,7 +115,7 @@ class BlackoutBlocked(Event):
     remaining: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class PriorityFlip(Event):
     """GATES swapped the INT/FP priority ends at ``cycle``.
 
@@ -121,7 +128,7 @@ class PriorityFlip(Event):
     reason: str
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class EpochAdapt(Event):
     """Adaptive idle-detect closed an epoch for one unit type."""
 
@@ -131,14 +138,14 @@ class EpochAdapt(Event):
     idle_detect: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class IssueStall(Event):
     """An issue slot went unused; ``reason`` matches ``IssueStalls``."""
 
     reason: str
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class KernelBoundary(Event):
     """Kernel ``index`` (name ``kernel``) began launching warps."""
 

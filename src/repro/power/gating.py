@@ -140,6 +140,10 @@ class ConventionalPolicy(GatingPolicy):
 class GatingDomain:
     """One power-gated unit cluster and its controller."""
 
+    __slots__ = ("name", "params", "policy", "bus", "idle_detect", "bet",
+                 "wakeup_delay", "idle_counter", "stats", "_gated_since",
+                 "_wake_done", "_finalized")
+
     def __init__(self, name: str, params: GatingParams,
                  policy: GatingPolicy,
                  bus: Optional[EventBus] = None) -> None:
@@ -302,17 +306,22 @@ class GatingDomain:
         ``pipeline_busy`` must be False whenever the domain is gated —
         the SM never lets work into a gated pipeline, and gating is only
         triggered from this method, which sees the pipeline idle.
+
+        Hot path (called per gated pipeline per cycle): the state
+        machine is decided from the raw timestamp fields directly, with
+        the same ordering as :meth:`state` — GATED, then WAKING, then ON.
         """
-        state = self.state(cycle)
-        if state is DomainState.GATED:
+        gated_since = self._gated_since
+        if gated_since is not None and cycle >= gated_since:
             if pipeline_busy:
                 raise RuntimeError(
                     f"{self.name}: pipeline busy while gated at {cycle}")
             return
-        if state is DomainState.WAKING:
-            self.stats.waking_cycles += 1
+        stats = self.stats
+        if cycle < self._wake_done:
+            stats.waking_cycles += 1
             return
-        self.stats.on_cycles += 1
+        stats.on_cycles += 1
         if pipeline_busy:
             self.idle_counter = 0
             return

@@ -45,6 +45,10 @@ class ExecPipeline:
             instruction.
     """
 
+    __slots__ = ("kind", "name", "initiation_interval", "_port_free_at",
+                 "_in_flight", "_seq", "issued_count", "lane_work",
+                 "busy_until", "_span_start", "tracker")
+
     def __init__(self, kind: ExecUnitKind, name: str,
                  initiation_interval: int = 1) -> None:
         if initiation_interval < 1:
@@ -61,6 +65,27 @@ class ExecPipeline:
         #: dynamic-energy weight of this pipeline's work (a fully
         #: converged instruction contributes 1.0, an 8-lane one 0.25).
         self.lane_work = 0.0
+        #: Busy watermark: after the cycle's writeback drain, the
+        #: pipeline is busy at cycle ``c`` iff ``c < busy_until``.  The
+        #: watermark is maintained at issue only (max of port release
+        #: and every in-flight finish; instruction latencies are >= 1,
+        #: so every contribution lies strictly beyond its issue cycle),
+        #: which is what lets the power/stats update stop asking the
+        #: completion heap every cycle.  Note the equivalence holds
+        #: *post-drain*: before writeback an instruction finishing this
+        #: very cycle still sits in the heap, so pre-writeback callers
+        #: (the fast-forward planner) must keep using :meth:`is_busy`.
+        self.busy_until = 0
+        # Start cycle of the busy period currently open at the
+        # watermark; [._span_start, busy_until) is the not-yet-
+        # integrated busy span of the attached idle tracker.
+        self._span_start = 0
+        #: Span-accumulating :class:`~repro.sim.stats.IdlePeriodTracker`
+        #: bound by the SM; None for standalone pipelines (unit tests).
+        #: With a tracker bound, busy/idle spans are integrated lazily
+        #: at issue boundaries and flushed by :meth:`finalize_tracker` —
+        #: zero tracker work on cycles where nothing issues.
+        self.tracker = None
 
     # ------------------------------------------------------------------
     # issue side
@@ -89,8 +114,23 @@ class ExecPipeline:
                 f"issue attempted at {cycle}")
         if extra_hold < 0:
             raise ValueError("extra_hold must be >= 0")
-        self._port_free_at = cycle + self.initiation_interval + extra_hold
+        port_free = cycle + self.initiation_interval + extra_hold
+        self._port_free_at = port_free
         finish = cycle + inst.latency + extra_hold
+        until = self.busy_until
+        if cycle >= until:
+            # A new busy period opens here: integrate the previous busy
+            # period and the idle gap before it into the tracker.
+            tracker = self.tracker
+            if tracker is not None:
+                tracker.observe_busy_span(until - self._span_start)
+                tracker.observe_idle_span(cycle - until)
+            self._span_start = cycle
+            until = cycle
+        new_until = finish if finish >= port_free else port_free
+        if new_until > until:
+            until = new_until
+        self.busy_until = until
         heapq.heappush(self._in_flight,
                        (finish, self._seq, Completion(warp_slot, inst)))
         self._seq += 1
@@ -114,8 +154,31 @@ class ExecPipeline:
     # ------------------------------------------------------------------
 
     def is_busy(self, cycle: int) -> bool:
-        """True while the pipeline holds work (port held or in flight)."""
+        """True while the pipeline holds work (port held or in flight).
+
+        Exact at any point in the cycle (including before writeback has
+        drained completions for ``cycle``); the cheaper
+        ``cycle < busy_until`` form is equivalent only post-drain.
+        """
         return bool(self._in_flight) or cycle < self._port_free_at
+
+    def finalize_tracker(self, end_cycle: int) -> None:
+        """Integrate the tail busy/idle spans into the bound tracker.
+
+        Called once at end of run, before the tracker itself is
+        finalized.  The open busy period is clamped to ``end_cycle``
+        (per-cycle observation never ran past the end of the run
+        either); the remainder, if any, is trailing idleness.
+        """
+        tracker = self.tracker
+        if tracker is None:
+            return
+        busy_end = self.busy_until
+        if busy_end > end_cycle:
+            busy_end = end_cycle
+        tracker.observe_busy_span(busy_end - self._span_start)
+        if end_cycle > busy_end:
+            tracker.observe_idle_span(end_cycle - busy_end)
 
     def in_flight_count(self) -> int:
         """Number of instructions currently in the pipeline."""

@@ -37,11 +37,14 @@ bound from every stateful component:
   exactly the serial cycle.
 
 When the minimum of those bounds lies beyond the current cycle, the
-span up to (but excluding) the bound is applied in bulk: per-pipeline
-idle trackers, gating-domain idle/waking counters, warp-population
-samples, no-ready-warp stall counters, the fetch and scheduler
-round-robin pointers, and the cycle count all advance by exactly what
-``span`` individual ``_step`` calls would have produced.  The only
+span up to (but excluding) the bound is applied in bulk: gating-domain
+idle/waking counters, warp-population samples, no-ready-warp stall
+counters, the fetch and scheduler round-robin pointers, and the cycle
+count all advance by exactly what ``span`` individual ``_step`` calls
+would have produced.  (The per-pipeline idle trackers need no bulk
+update at all: they accumulate busy/idle *spans* between absolute
+cycle marks, so a skipped stretch lands in the right idle period when
+the next issue — or the end-of-run flush — integrates it.)  The only
 serial/fast-forward divergence is *internal* scoreboard garbage
 (completed producers are dropped at the next real writeback instead of
 every cycle), which is unobservable: a producer whose ready cycle has
@@ -251,13 +254,12 @@ class IdleFastForwarder:
         stats.stalls.no_ready_warp += span * sm.config.issue_width
         sm.scheduler.skip_idle_cycles(span)
 
-        # stage 6: idle trackers and gating domains
-        for pipe in sm.pipelines:
-            stats.tracker(pipe.name).observe_idle_span(span)
-            domain = sm.domains.get(pipe.name)
-            if domain is not None:
-                domain.skip_idle_cycles(cycle, span)
-        stats.tracker(sm.SM_WIDE_TRACKER).observe_idle_span(span)
+        # stage 6: gating domains.  The idle trackers need no work at
+        # all here: they integrate busy/idle spans from absolute cycles
+        # at the next issue (or the end-of-run flush), so a skipped
+        # span lands in the right idle period automatically.
+        for _pipe, domain in sm._gated_pipes:
+            domain.skip_idle_cycles(cycle, span)
 
         stats.cycles += span
         self.skipped_cycles += span

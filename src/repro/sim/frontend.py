@@ -14,7 +14,7 @@ launch queue, the way successive thread blocks refill a real SM.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Sequence
 
 from repro.isa.instructions import Instruction
 from repro.isa.trace import KernelTrace, WarpTrace
@@ -22,11 +22,35 @@ from repro.sim.scoreboard import Scoreboard
 
 
 class WarpContext:
-    """Runtime state of one resident warp slot."""
+    """Runtime state of one resident warp slot.
+
+    Slotted and deliberately property-light on the hot paths: the fetch
+    and classification stages touch every resident warp every cycle, so
+    the per-warp state they read (``trace_len``, ``trace_insts``, the
+    ``head_*`` classification cache) is stored as plain attributes.
+    """
+
+    __slots__ = ("slot", "trace", "trace_len", "trace_insts", "fetch_pc",
+                 "ibuffer", "scoreboard", "retired", "outstanding",
+                 "cache_popped", "cache_version", "head_inst",
+                 "head_ready_at", "head_mem_until", "head_unresolved",
+                 "cand_ready", "cand_stalled")
+
+    #: Class-wide assignment generation, bumped on every ``assign``.
+    #: The fetch engine's quiescent fast path (all occupied slots
+    #: trace-exhausted => nothing to fetch until a new warp arrives)
+    #: keys its validity on this, so it self-invalidates no matter who
+    #: assigns the warp — no wiring between launcher and fetch engine.
+    assign_generation = 0
 
     def __init__(self, slot: int) -> None:
         self.slot = slot
         self.trace: Optional[WarpTrace] = None
+        #: len(trace), 0 while unoccupied — ``fetch_pc >= trace_len`` is
+        #: the branch the fetch loop takes per warp per cycle.
+        self.trace_len = 0
+        #: The trace's raw instruction sequence (skips WarpTrace.__getitem__).
+        self.trace_insts: Sequence[Instruction] = ()
         self.fetch_pc = 0            # next trace index to fetch
         self.ibuffer: Deque[Instruction] = deque()
         self.scoreboard = Scoreboard()
@@ -34,17 +58,36 @@ class WarpContext:
         #: Instructions issued but not yet fully completed (pipeline or
         #: memory); a slot is only recycled when this drains to zero.
         self.outstanding = 0
+        # --- incremental classification cache -------------------------
+        # Valid while (cache_popped, cache_version) matches the warp's
+        # issued-instruction count and its scoreboard version; holds the
+        # head instruction's absolute-cycle readiness summary
+        # (Scoreboard.head_status) plus memoised IssueCandidate objects,
+        # so per-cycle classification is integer compares, not operand
+        # scans and allocations.
+        self.cache_popped = -1
+        self.cache_version = -1
+        self.head_inst: Optional[Instruction] = None
+        self.head_ready_at = 0
+        self.head_mem_until = 0
+        self.head_unresolved = False
+        self.cand_ready = None
+        self.cand_stalled = None
 
     # ------------------------------------------------------------------
 
     def assign(self, trace: WarpTrace) -> None:
         """Occupy this slot with a freshly launched warp."""
+        WarpContext.assign_generation += 1
         self.trace = trace
+        self.trace_len = len(trace)
+        self.trace_insts = trace.instructions
         self.fetch_pc = 0
         self.ibuffer.clear()
         self.scoreboard.reset()
         self.retired = 0
         self.outstanding = 0
+        self.cache_popped = -1
 
     @property
     def occupied(self) -> bool:
@@ -54,11 +97,11 @@ class WarpContext:
     @property
     def trace_exhausted(self) -> bool:
         """True once every instruction of the warp has been fetched."""
-        return self.trace is None or self.fetch_pc >= len(self.trace)
+        return self.fetch_pc >= self.trace_len
 
     def finished(self) -> bool:
         """True once every instruction has issued and completed."""
-        return (self.occupied and self.trace_exhausted
+        return (self.trace is not None and self.fetch_pc >= self.trace_len
                 and not self.ibuffer and self.outstanding == 0)
 
     def head(self) -> Optional[Instruction]:
@@ -72,9 +115,12 @@ class WarpContext:
     def release(self) -> None:
         """Free the slot after the warp fully completes."""
         self.trace = None
+        self.trace_len = 0
+        self.trace_insts = ()
         self.ibuffer.clear()
         self.scoreboard.reset()
         self.outstanding = 0
+        self.cache_popped = -1
 
 
 class FetchEngine:
@@ -88,31 +134,65 @@ class FetchEngine:
         self.fetch_width = fetch_width
         self.ibuffer_entries = ibuffer_entries
         self._rr_start = 0
+        #: assign_generation at the moment a full scan found no warp
+        #: with unfetched trace; while it still matches, tick only
+        #: rotates the round-robin pointer (the drain-tail fast path).
+        self._quiet_gen = -1
 
     def tick(self, warps: List[WarpContext]) -> int:
         """Fetch up to ``fetch_width`` instructions into needy buffers.
 
         Round-robins across warp slots so no warp starves the front end.
         Returns the number of instructions fetched (statistics).
+
+        Hot path: runs every cycle over every slot, so the per-warp
+        skip test is two plain attribute compares (an unoccupied slot
+        has ``trace_len == 0`` and counts as exhausted) and the fill is
+        a bulk slice of the precomputed instruction sequence.
         """
-        fetched = 0
         n = len(warps)
         if n == 0:
             return 0
-        for offset in range(n):
-            if fetched >= self.fetch_width:
-                break
-            warp = warps[(self._rr_start + offset) % n]
-            if not warp.occupied or warp.trace_exhausted:
+        if self._quiet_gen == WarpContext.assign_generation:
+            # Every occupied slot was trace-exhausted at the last full
+            # scan and no warp has been assigned since: nothing can be
+            # fetched, only the round-robin pointer moves.
+            self._rr_start = (self._rr_start + 1) % n
+            return 0
+        fetched = 0
+        any_room = False
+        width = self.fetch_width
+        entries = self.ibuffer_entries
+        i = self._rr_start
+        self._rr_start = (i + 1) % n
+        for _ in range(n):
+            warp = warps[i]
+            i += 1
+            if i == n:
+                i = 0
+            pc = warp.fetch_pc
+            room = warp.trace_len - pc
+            if room <= 0:
                 continue
-            while (fetched < self.fetch_width
-                   and len(warp.ibuffer) < self.ibuffer_entries
-                   and not warp.trace_exhausted):
-                assert warp.trace is not None
-                warp.ibuffer.append(warp.trace[warp.fetch_pc])
-                warp.fetch_pc += 1
-                fetched += 1
-        self._rr_start = (self._rr_start + 1) % n
+            any_room = True
+            buf = warp.ibuffer
+            free = entries - len(buf)
+            if free <= 0:
+                continue
+            take = width - fetched
+            if take > free:
+                take = free
+            if take > room:
+                take = room
+            insts = warp.trace_insts
+            for k in range(pc, pc + take):
+                buf.append(insts[k])
+            warp.fetch_pc = pc + take
+            fetched += take
+            if fetched >= width:
+                break
+        if not any_room:
+            self._quiet_gen = WarpContext.assign_generation
         return fetched
 
     def skip_idle_cycles(self, span: int, n_warps: int) -> None:
@@ -211,6 +291,10 @@ class MultiKernelLauncher:
         self._index = 0
         self._inner = WarpLauncher(self.kernels[0], max_resident)
         self._gap_until: Optional[int] = None
+        # Warps in kernels after the current one; ``remaining`` is read
+        # every cycle, so the suffix sum is cached and refreshed only on
+        # kernel advance.
+        self._later_warps = sum(k.n_warps for k in self.kernels[1:])
         #: Cycles at which each kernel's first warp launched (stats).
         self.kernel_start_cycles: List[int] = []
 
@@ -222,8 +306,7 @@ class MultiKernelLauncher:
     @property
     def remaining(self) -> int:
         """Warps not yet launched, across all queued kernels."""
-        later = sum(k.n_warps for k in self.kernels[self._index + 1:])
-        return self._inner.remaining + later
+        return self._inner.remaining + self._later_warps
 
     @property
     def current_kernel_index(self) -> int:
@@ -255,6 +338,8 @@ class MultiKernelLauncher:
         self._index += 1
         self._inner = WarpLauncher(self.kernels[self._index],
                                    self.max_resident_cap)
+        self._later_warps = sum(k.n_warps
+                                for k in self.kernels[self._index + 1:])
         self._gap_until = None
         return self.pop_next(cycle, resident)
 

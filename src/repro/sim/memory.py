@@ -119,6 +119,12 @@ class MemorySubsystem:
         # Min-heap of (ready_cycle, seq, completion).
         self._pending: List[Tuple[int, int, MemoryCompletion]] = []
         self._seq = 0
+        #: Earliest cycle at which :meth:`tick` has any work to do —
+        #: exactly ``min`` over scheduled deliveries and outstanding
+        #: line fills, maintained at access/schedule time and after
+        #: every working tick.  The SM's writeback stage reads this to
+        #: skip the tick entirely on quiet cycles.
+        self.next_event: float = float("inf")
 
     # ------------------------------------------------------------------
     # access side (called when an instruction exits the LDST pipeline)
@@ -193,6 +199,8 @@ class MemorySubsystem:
         Fills the L1 for completed misses and frees their MSHR entries.
         """
         done: List[MemoryCompletion] = []
+        if cycle < self.next_event:
+            return done
         while self._pending and self._pending[0][0] <= cycle:
             done.append(heapq.heappop(self._pending)[2])
         finished_lines = [line for line, ready in self._outstanding.items()
@@ -207,6 +215,14 @@ class MemorySubsystem:
                     if owner is not None:
                         self.locality_monitor.record_eviction(owner,
                                                               evicted)
+        bound: float = float("inf")
+        if self._pending:
+            bound = self._pending[0][0]
+        if self._outstanding:
+            earliest = min(self._outstanding.values())
+            if earliest < bound:
+                bound = earliest
+        self.next_event = bound
         return done
 
     def next_completion_cycle(self) -> float:
@@ -214,15 +230,11 @@ class MemorySubsystem:
 
         Fast-forward bound: scheduled load deliveries and outstanding
         line fills are the only time-driven state here, and both carry
-        explicit ready cycles.  Returns ``inf`` when the subsystem is
-        completely quiet.
+        explicit ready cycles — :attr:`next_event` tracks their minimum
+        exactly (updated on schedule and after every working tick).
+        Returns ``inf`` when the subsystem is completely quiet.
         """
-        bound = float("inf")
-        if self._pending:
-            bound = self._pending[0][0]
-        if self._outstanding:
-            bound = min(bound, min(self._outstanding.values()))
-        return bound
+        return self.next_event
 
     def attach_locality_monitor(self, monitor) -> None:
         """Enable CCWS lost-locality detection on this memory path."""
@@ -266,3 +278,5 @@ class MemorySubsystem:
                        (ready, self._seq,
                         MemoryCompletion(warp_slot, inst.dest)))
         self._seq += 1
+        if ready < self.next_event:
+            self.next_event = ready

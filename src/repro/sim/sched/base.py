@@ -66,11 +66,55 @@ class SchedulerView:
         default_factory=lambda: {cls: False for cls in OpClass})
 
 
+def rotated_ready(candidates: Sequence[IssueCandidate], start: int,
+                  n_slots: int) -> List[IssueCandidate]:
+    """Ready candidates in rotated slot order, scan starting at ``start``.
+
+    Semantically identical to the pattern every built-in scheduler used
+    to spell out inline::
+
+        ready = [c for c in candidates if c.ready]
+        ready.sort(key=lambda c: (c.slot - start) % n_slots)
+
+    but O(n) on the hot path: the SM hands schedulers candidates in
+    ascending slot order with unique slots, so the modulo-key sort is
+    exactly a rotation — the block of slots ``>= start`` first, then the
+    wrap-around block below ``start``, each keeping its relative order.
+    Inputs that are not slot-ascending (hand-built fixtures in tests)
+    are detected by the same single pass and fall back to the stable
+    sort, so the helper is a drop-in for arbitrary candidate lists.
+    """
+    ready = [c for c in candidates if c.ready]
+    if len(ready) < 2:
+        return ready
+    prev = ready[0].slot
+    for cand in ready[1:]:
+        slot = cand.slot
+        if slot <= prev:
+            ready.sort(key=lambda c: (c.slot - start) % n_slots)
+            return ready
+        prev = slot
+    if start <= ready[0].slot or start > prev:
+        return ready
+    for i, cand in enumerate(ready):
+        if cand.slot >= start:
+            return ready[i:] + ready[:i]
+    return ready  # unreachable: some slot >= start exists
+
+
 class WarpScheduler(abc.ABC):
     """A warp-issue priority policy."""
 
     #: Display name used in experiment records.
     name = "abstract"
+
+    #: Whether :meth:`order` must see the *full* active set, stalled
+    #: candidates included.  Schedulers that begin by filtering on
+    #: ``c.ready`` (all the built-in round-robin family) set this False,
+    #: which lets the SM skip materialising stalled-candidate objects on
+    #: the per-cycle path; CCWS keeps the default because its throttle
+    #: cutoff depends on ``len(candidates)``.
+    needs_all_candidates = True
 
     #: Observability bus.  The SM rebinds this to its own bus at
     #: construction; the class-level default keeps standalone scheduler

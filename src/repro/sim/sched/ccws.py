@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.sim.locality import LostLocalityMonitor
-from repro.sim.sched.base import IssueCandidate, SchedulerView, WarpScheduler
+from repro.sim.sched.base import (IssueCandidate, SchedulerView,
+                                  WarpScheduler, rotated_ready)
 
 
 class CCWSScheduler(WarpScheduler):
@@ -68,8 +69,7 @@ class CCWSScheduler(WarpScheduler):
                 self.throttled_cycles += 1
             ready = filtered
         start = (self._last_slot + 1) % self.n_slots
-        ready.sort(key=lambda c: ((c.slot - start) % self.n_slots))
-        return ready
+        return rotated_ready(ready, start, self.n_slots)
 
     def on_issue(self, cycle: int, candidate: IssueCandidate) -> None:
         self._last_slot = candidate.slot

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.sim.sched.base import IssueCandidate, SchedulerView, WarpScheduler
+from repro.sim.sched.base import (IssueCandidate, SchedulerView,
+                                  WarpScheduler, rotated_ready)
 
 
 class FetchGroupScheduler(WarpScheduler):
@@ -23,6 +24,7 @@ class FetchGroupScheduler(WarpScheduler):
     # ``order`` returns before any mutation when the ready set is
     # empty, so no-ready cycles leave the scheduler untouched.
     supports_idle_skip = True
+    needs_all_candidates = False
 
     def __init__(self, n_slots: int = 48, group_size: int = 8) -> None:
         if n_slots < 1:
@@ -58,9 +60,11 @@ class FetchGroupScheduler(WarpScheduler):
                     break
         start = (self._last_slot + 1) % self.n_slots
         current = self._current_group
-        ready.sort(key=lambda c: (
-            (self._group_of(c.slot) - current) % self.n_groups,
-            (c.slot - start) % self.n_slots))
+        # Rotated-slot order first, then a stable sort on the group key
+        # alone — equivalent to the old composite (group, slot) key.
+        ready = rotated_ready(ready, start, self.n_slots)
+        ready.sort(key=lambda c: (self._group_of(c.slot) - current)
+                   % self.n_groups)
         return ready
 
     def on_issue(self, cycle: int, candidate: IssueCandidate) -> None:

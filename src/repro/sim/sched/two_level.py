@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.sim.sched.base import IssueCandidate, SchedulerView, WarpScheduler
+from repro.sim.sched.base import (IssueCandidate, SchedulerView,
+                                  WarpScheduler, rotated_ready)
 
 
 class TwoLevelScheduler(WarpScheduler):
@@ -29,6 +30,9 @@ class TwoLevelScheduler(WarpScheduler):
     # ``order`` mutates nothing (only ``on_issue`` moves the pointer),
     # so skipping no-ready cycles is trivially safe.
     supports_idle_skip = True
+    # ``order`` filters on the ready bit immediately; stalled
+    # candidates never influence the result.
+    needs_all_candidates = False
 
     def __init__(self, n_slots: int = 48) -> None:
         if n_slots < 1:
@@ -38,12 +42,10 @@ class TwoLevelScheduler(WarpScheduler):
 
     def order(self, cycle: int, candidates: Sequence[IssueCandidate],
               view: SchedulerView) -> List[IssueCandidate]:
-        ready = [c for c in candidates if c.ready]
-        start = (self._last_slot + 1) % self.n_slots
         # Rotate slot order so the scan begins after the last issuer;
         # type plays no role -- that is precisely the baseline's flaw.
-        ready.sort(key=lambda c: ((c.slot - start) % self.n_slots))
-        return ready
+        start = (self._last_slot + 1) % self.n_slots
+        return rotated_ready(candidates, start, self.n_slots)
 
     def on_issue(self, cycle: int, candidate: IssueCandidate) -> None:
         self._last_slot = candidate.slot
@@ -64,6 +66,7 @@ class LooseRoundRobinScheduler(WarpScheduler):
     # ``order`` advances the rotation pointer every cycle; the skip
     # override below replays exactly that drift.
     supports_idle_skip = True
+    needs_all_candidates = False
 
     def __init__(self, n_slots: int = 48) -> None:
         if n_slots < 1:
@@ -76,11 +79,9 @@ class LooseRoundRobinScheduler(WarpScheduler):
 
     def order(self, cycle: int, candidates: Sequence[IssueCandidate],
               view: SchedulerView) -> List[IssueCandidate]:
-        ready = [c for c in candidates if c.ready]
         start = self._pointer
-        ready.sort(key=lambda c: ((c.slot - start) % self.n_slots))
-        self._pointer = (self._pointer + 1) % self.n_slots
-        return ready
+        self._pointer = (start + 1) % self.n_slots
+        return rotated_ready(candidates, start, self.n_slots)
 
     def reset(self) -> None:
         self._pointer = 0

@@ -28,8 +28,10 @@ from repro.isa.instructions import Instruction
 #: (loads between LDST issue and cache access).
 UNRESOLVED = -1
 
+_INF = float("inf")
 
-@dataclass
+
+@dataclass(slots=True)
 class _Producer:
     """In-flight producer of one register."""
 
@@ -44,17 +46,35 @@ class Scoreboard:
     via :meth:`reset` when a new warp becomes resident.
     """
 
+    __slots__ = ("_busy", "_mem_count", "version", "_next_release")
+
     def __init__(self) -> None:
         self._busy: Dict[int, _Producer] = {}
         # Count of in-flight memory producers; lets the per-cycle
         # pending-set classification skip the scan for the (common)
         # warps with no outstanding loads.
         self._mem_count = 0
+        #: Bumped whenever the producer set changes in a way that can
+        #: alter a head instruction's readiness summary (issue, memory
+        #: resolution, slot reset).  The SM caches :meth:`head_status`
+        #: results keyed on this, so per-cycle classification is two
+        #: integer compares instead of an operand scan.  Dropping
+        #: *completed* producers deliberately does NOT bump it: a
+        #: producer past its ready cycle contributes only past-cycle
+        #: bounds to the summary, which every ``cycle >= bound``
+        #: comparison already treats as satisfied.
+        self.version = 0
+        # Earliest writeback among resolved producers: lets
+        # release_completed return without scanning on cycles where
+        # nothing can complete.
+        self._next_release: float = _INF
 
     def reset(self) -> None:
         """Forget all in-flight producers (new warp occupies the slot)."""
         self._busy.clear()
         self._mem_count = 0
+        self.version += 1
+        self._next_release = _INF
 
     # ------------------------------------------------------------------
     # issue-side interface
@@ -105,6 +125,7 @@ class Scoreboard:
         """
         if inst.dest is None:
             return
+        self.version += 1
         if inst.is_load:
             previous = self._busy.get(inst.dest)
             if previous is None or not previous.is_memory:
@@ -114,8 +135,10 @@ class Scoreboard:
             previous = self._busy.get(inst.dest)
             if previous is not None and previous.is_memory:
                 self._mem_count -= 1
-            self._busy[inst.dest] = _Producer(cycle + inst.latency,
-                                              is_memory=False)
+            ready = cycle + inst.latency
+            self._busy[inst.dest] = _Producer(ready, is_memory=False)
+            if ready < self._next_release:
+                self._next_release = ready
 
     # ------------------------------------------------------------------
     # completion-side interface
@@ -127,22 +150,79 @@ class Scoreboard:
         if producer is None or not producer.is_memory:
             raise KeyError(f"register r{reg} has no outstanding load")
         producer.ready_cycle = ready_cycle
+        self.version += 1
+        if ready_cycle < self._next_release:
+            self._next_release = ready_cycle
 
     def release_completed(self, cycle: int) -> None:
         """Drop producers whose values are readable at ``cycle``.
 
-        Called once per cycle; keeping completed producers around any
-        longer would spuriously block dependants.
+        O(1) on quiet cycles: a min-tracked next-release bound
+        (maintained at issue and memory resolution) proves nothing can
+        complete, so no scan happens.  Completed producers are never
+        observable anyway — every readiness predicate compares the
+        current cycle against the producer's ready cycle — but dropping
+        them keeps the producer map (and the debug accessors) tight.
         """
-        if not self._busy:
+        if cycle < self._next_release:
             return
-        done = [reg for reg, producer in self._busy.items()
+        busy = self._busy
+        done = [reg for reg, producer in busy.items()
                 if producer.ready_cycle != UNRESOLVED
                 and producer.ready_cycle <= cycle]
         for reg in done:
-            if self._busy[reg].is_memory:
+            if busy[reg].is_memory:
                 self._mem_count -= 1
-            del self._busy[reg]
+            del busy[reg]
+        nxt: float = _INF
+        for producer in busy.values():
+            ready = producer.ready_cycle
+            if ready != UNRESOLVED and ready < nxt:
+                nxt = ready
+        self._next_release = nxt
+
+    # ------------------------------------------------------------------
+    # incremental classification support
+    # ------------------------------------------------------------------
+
+    def head_status(self, inst: Instruction,
+                    pending_threshold: int) -> Tuple[int, int, bool]:
+        """Absolute-cycle readiness summary of ``inst``.
+
+        Returns ``(ready_at, mem_until, unresolved)`` such that, for any
+        cycle while :attr:`version` is unchanged:
+
+        * ``is_ready(inst, c)``  ⇔  ``not unresolved and c >= ready_at``
+        * ``blocking_memory(inst, c, t)``  ⇔  ``unresolved or
+          c < mem_until`` (with the same ``pending_threshold`` ``t``).
+
+        This is what lets the SM classify a warp per cycle with two
+        integer compares: the summary only changes when a producer is
+        recorded or resolved (both bump :attr:`version`), never with the
+        passage of time.  Completed-producer cleanup keeps it valid too:
+        a dropped producer can only lower the (already passed) bounds.
+        """
+        ready_at = 0
+        mem_until = 0
+        unresolved = False
+        busy = self._busy
+        if busy:
+            get = busy.get
+            for reg in self._operand_registers(inst):
+                producer = get(reg)
+                if producer is None:
+                    continue
+                ready = producer.ready_cycle
+                if ready == UNRESOLVED:
+                    unresolved = True
+                    continue
+                if ready > ready_at:
+                    ready_at = ready
+                if producer.is_memory:
+                    limit = ready - pending_threshold
+                    if limit > mem_until:
+                        mem_until = limit
+        return ready_at, mem_until, unresolved
 
     # ------------------------------------------------------------------
     # fast-forward support
@@ -173,15 +253,24 @@ class Scoreboard:
         return events
 
     # ------------------------------------------------------------------
-    # introspection
+    # introspection (debug-only: never called from the cycle loop)
     # ------------------------------------------------------------------
 
     def busy_registers(self) -> Tuple[int, ...]:
-        """Registers with an in-flight producer (diagnostics/tests)."""
+        """Registers with an in-flight producer (diagnostics/tests).
+
+        Debug-only accessor: builds a sorted tuple on every call, so it
+        must stay out of the per-cycle path — the simulator itself only
+        consults :meth:`head_status` / :meth:`is_ready` /
+        :meth:`blocking_memory`.
+        """
         return tuple(sorted(self._busy))
 
     def outstanding_memory_registers(self) -> Tuple[int, ...]:
-        """Registers awaiting a memory value (diagnostics/tests)."""
+        """Registers awaiting a memory value (diagnostics/tests).
+
+        Debug-only accessor — see :meth:`busy_registers`.
+        """
         return tuple(sorted(reg for reg, p in self._busy.items()
                             if p.is_memory))
 

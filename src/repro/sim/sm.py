@@ -49,6 +49,12 @@ from repro.sim.regfile import RegisterFileModel
 from repro.sim.sched.base import IssueCandidate, SchedulerView, WarpScheduler
 from repro.sim.stats import SMStats
 
+#: Enum members materialised once — iterating the Enum class itself
+#: builds a fresh iterator + genexpr per use, which shows up when done
+#: every cycle in the classify/issue path.
+_ALL_OP_CLASSES = tuple(OpClass)
+_CUDA_OP_CLASSES = (OpClass.INT, OpClass.FP)
+
 
 class CycleHook(Protocol):
     """Anything ticked once per cycle after the PG update (e.g. the
@@ -239,6 +245,38 @@ class StreamingMultiprocessor:
         #: time so domains and hooks attached after construction count.
         self.fast_forward = fast_forward
         self._forwarder = None
+        # --- hot-loop state (frozen by _prepare at run start) ---------
+        self._prepared = False
+        self._pending_threshold = config.memory.pending_threshold
+        self._issue_width = config.issue_width
+        #: Whether the launcher exposes multi-kernel boundaries (the
+        #: per-cycle KernelBoundary check reads this instead of paying a
+        #: getattr on every instrumented cycle).
+        self._multi_kernel = hasattr(self.launcher,
+                                     "current_kernel_index")
+        #: Occupied warp contexts in slot order; rebuilt by
+        #: _manage_warps only when residency changes, so the per-cycle
+        #: stages iterate exactly the live warps instead of all slots.
+        self._resident: List[WarpContext] = []
+        #: Set when a warp *may* have finished (its last outstanding
+        #: instruction retired, or an empty trace was assigned);
+        #: _manage_warps only scans for finished warps when it is set.
+        self._finish_check = False
+        #: Persistent per-cycle scheduler view: the counter dicts are
+        #: zeroed in place each cycle rather than reallocated.
+        self._view = SchedulerView()
+        # OpClass -> (pipes, domains, n_pipes, is_ldst) issue dispatch.
+        self._unit_table: Dict[OpClass, tuple] = {}
+        # (pipe, domain) pairs in pipeline order (gated pipes only).
+        self._gated_pipes: List[Tuple[ExecPipeline, GatingDomain]] = []
+        # OpClass -> domains consulted for the type-in-blackout flags.
+        self._blackout_domains: Dict[OpClass, tuple] = {}
+        self._has_blackout = False
+        # SM-wide busy watermark + open-span start for the SM_WIDE
+        # tracker (same span-based accounting as ExecPipeline's).
+        self._sm_tracker = None
+        self._sm_busy_until = 0
+        self._sm_span_start = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -251,7 +289,7 @@ class StreamingMultiprocessor:
     def attach_domain(self, pipeline_name: str,
                       domain: GatingDomain) -> None:
         """Attach a power-gating domain to one pipeline by name."""
-        if pipeline_name not in {p.name for p in self.pipelines}:
+        if all(p.name != pipeline_name for p in self.pipelines):
             raise KeyError(f"no pipeline named {pipeline_name!r}")
         self.domains[pipeline_name] = domain
         domain.bus = self.bus
@@ -275,6 +313,7 @@ class StreamingMultiprocessor:
                                "build a fresh SM for another run")
         self._ran = True
         self.scheduler.reset()
+        self._prepare()
         if self.fast_forward:
             from repro.sim.fastforward import IdleFastForwarder
             self._forwarder = IdleFastForwarder(self)
@@ -282,25 +321,80 @@ class StreamingMultiprocessor:
             self.bus.publish(KernelBoundary(0, self.kernel.name, 0))
         cycle = 0
         forwarder = self._forwarder
-        while not self._drained():
-            if cycle >= self.config.max_cycles:
+        max_cycles = self.config.max_cycles
+        step = self._step
+        drained = self._drained
+        while not drained():
+            if cycle >= max_cycles:
                 raise RuntimeError(
                     f"{self.kernel.name}: no drain after "
-                    f"{self.config.max_cycles} cycles (deadlock?)")
+                    f"{max_cycles} cycles (deadlock?)")
             if forwarder is not None:
                 skipped_to = forwarder.advance(cycle)
                 if skipped_to != cycle:
                     cycle = skipped_to
                     continue
-            self._step(cycle)
+            step(cycle)
             cycle += 1
         return self._collect(cycle)
 
+    def _prepare(self) -> None:
+        """Freeze the issue/power dispatch tables for the run.
+
+        Called once at run start, after every domain and hook is
+        attached: precomputes the OpClass -> (pipes, domains) issue
+        table, the gated-pipe list the power update walks, and the
+        per-type blackout domain tuples, so the cycle loop never
+        re-derives them.  Idle trackers are bound lazily at the first
+        real step (see :meth:`_bind_trackers`) to keep a zero-cycle run
+        indistinguishable from the legacy per-cycle path, which never
+        created them.
+        """
+        self._prepared = True
+        domains = self.domains
+        table: Dict[OpClass, tuple] = {}
+        for cls in OpClass:
+            kind = UNIT_FOR_OP_CLASS[cls]
+            pipes = tuple(self._by_kind[kind])
+            doms = tuple(domains.get(p.name) for p in pipes)
+            table[cls] = (pipes, doms, len(pipes),
+                          kind is ExecUnitKind.LDST)
+        self._unit_table = table
+        self._gated_pipes = [(p, domains[p.name]) for p in self.pipelines
+                             if p.name in domains]
+        blackout: Dict[OpClass, tuple] = {}
+        for cls in (OpClass.INT, OpClass.FP):
+            pipes = self._by_kind[UNIT_FOR_OP_CLASS[cls]]
+            blackout[cls] = tuple(domains[p.name] for p in pipes
+                                  if p.name in domains)
+        self._blackout_domains = blackout
+        self._has_blackout = any(blackout.values())
+        self._resident = [w for w in self.warps if w.trace is not None]
+        self._finish_check = True
+        self.actv_counts = self._view.actv_counts
+        # Per-cycle config reads resolved once.
+        self._pending_threshold = self.config.memory.pending_threshold
+        self._issue_width = self.config.issue_width
+
+    def _bind_trackers(self) -> None:
+        """Create and bind the idle trackers (first real step only).
+
+        Creation order — pipelines in construction order, then SM_WIDE —
+        matches the legacy per-cycle path's first _update_power, so the
+        ``idle_trackers`` dict iterates identically.
+        """
+        stats = self.stats
+        for pipe in self.pipelines:
+            pipe.tracker = stats.tracker(pipe.name)
+        self._sm_tracker = stats.tracker(self.SM_WIDE_TRACKER)
+
     def _drained(self) -> bool:
-        return (self.launcher.remaining == 0 and not self._retry
-                and all(not w.occupied for w in self.warps))
+        return (not self._resident and not self._retry
+                and self.launcher.remaining == 0)
 
     def _step(self, cycle: int) -> None:
+        if self._sm_tracker is None:
+            self._bind_trackers()
         self._writeback(cycle)
         self._manage_warps(cycle)
         self.stats.fetched += self.fetch.tick(self.warps)
@@ -316,15 +410,19 @@ class StreamingMultiprocessor:
     # ------------------------------------------------------------------
 
     def _writeback(self, cycle: int) -> None:
-        for completion in self.memory.tick(cycle):
-            self._retire(completion.warp_slot)
+        memory = self.memory
+        if cycle >= memory.next_event:
+            for completion in memory.tick(cycle):
+                self._retire(completion.warp_slot)
         for pipe in self.pipelines:
-            for done in pipe.drain(cycle):
-                inst = done.inst
-                if inst.is_mem:
-                    self._access_memory(cycle, done.warp_slot, inst)
-                else:
-                    self._retire(done.warp_slot)
+            flight = pipe._in_flight
+            if flight and flight[0][0] <= cycle:
+                for done in pipe.drain(cycle):
+                    inst = done.inst
+                    if inst.is_mem:
+                        self._access_memory(cycle, done.warp_slot, inst)
+                    else:
+                        self._retire(done.warp_slot)
         if self._retry:
             still_waiting: List[Tuple[int, Instruction]] = []
             for slot, inst in self._retry:
@@ -332,9 +430,10 @@ class StreamingMultiprocessor:
                                            requeue=False):
                     still_waiting.append((slot, inst))
             self._retry = still_waiting
-        for warp in self.warps:
-            if warp.occupied:
-                warp.scoreboard.release_completed(cycle)
+        for warp in self._resident:
+            scoreboard = warp.scoreboard
+            if cycle >= scoreboard._next_release:
+                scoreboard.release_completed(cycle)
 
     def _access_memory(self, cycle: int, slot: int, inst: Instruction,
                        requeue: bool = True) -> bool:
@@ -357,45 +456,67 @@ class StreamingMultiprocessor:
 
     def _retire(self, slot: int) -> None:
         warp = self.warps[slot]
-        warp.outstanding -= 1
+        outstanding = warp.outstanding - 1
+        warp.outstanding = outstanding
         warp.retired += 1
         self.stats.instructions_retired += 1
-        if warp.outstanding < 0:
-            raise RuntimeError(f"warp slot {slot}: retired more than issued")
+        if outstanding <= 0:
+            if outstanding < 0:
+                raise RuntimeError(
+                    f"warp slot {slot}: retired more than issued")
+            # The warp may now satisfy finished(); a finished warp
+            # always reaches this state through its last retirement,
+            # so _manage_warps only scans when this flag is set.
+            self._finish_check = True
 
     # ------------------------------------------------------------------
     # stage 2: warp slot management
     # ------------------------------------------------------------------
 
     def _manage_warps(self, cycle: int) -> None:
-        for warp in self.warps:
-            if warp.occupied and warp.finished():
-                assert warp.trace is not None
-                self._warp_records.append(WarpRecord(
-                    warp_id=warp.trace.warp_id,
-                    launch_cycle=self._launch_cycles[warp.slot],
-                    finish_cycle=cycle,
-                    instructions=warp.retired))
-                warp.release()
+        released = 0
+        if self._finish_check:
+            self._finish_check = False
+            for warp in self._resident:
+                if warp.outstanding == 0 and not warp.ibuffer \
+                        and warp.fetch_pc >= warp.trace_len:
+                    assert warp.trace is not None
+                    self._warp_records.append(WarpRecord(
+                        warp_id=warp.trace.warp_id,
+                        launch_cycle=self._launch_cycles[warp.slot],
+                        finish_cycle=cycle,
+                        instructions=warp.retired))
+                    warp.release()
+                    released += 1
+        launched = 0
         if self.launcher.remaining:
-            resident = sum(1 for w in self.warps if w.occupied)
-            for warp in self.warps:
-                if warp.occupied:
-                    continue
-                trace = self.launcher.pop_next(cycle, resident)
-                if trace is None:
-                    break
-                warp.assign(trace)
-                self._ages[warp.slot] = self._age_counter
-                self._launch_cycles[warp.slot] = cycle
-                self._age_counter += 1
-                resident += 1
+            resident = len(self._resident) - released
+            if resident < len(self.warps):
+                for warp in self.warps:
+                    if warp.trace is not None:
+                        continue
+                    trace = self.launcher.pop_next(cycle, resident)
+                    if trace is None:
+                        break
+                    warp.assign(trace)
+                    if not warp.trace_len:
+                        # A zero-instruction warp is finished already.
+                        self._finish_check = True
+                    self._ages[warp.slot] = self._age_counter
+                    self._launch_cycles[warp.slot] = cycle
+                    self._age_counter += 1
+                    resident += 1
+                    launched += 1
             if self.bus.enabled:
-                index = getattr(self.launcher, "current_kernel_index", 0)
+                index = (self.launcher.current_kernel_index
+                         if self._multi_kernel else 0)
                 if index != self._kernel_index_seen:
                     self._kernel_index_seen = index
                     self.bus.publish(KernelBoundary(
                         cycle, self.kernels[index].name, index))
+        if released or launched:
+            self._resident = [w for w in self.warps
+                              if w.trace is not None]
 
     # ------------------------------------------------------------------
     # stage 4: active/pending classification
@@ -403,37 +524,90 @@ class StreamingMultiprocessor:
 
     def _classify(self, cycle: int) -> Tuple[List[IssueCandidate],
                                              SchedulerView]:
-        threshold = self.config.memory.pending_threshold
-        view = SchedulerView()
+        """Build the active set from the per-warp classification caches.
+
+        The readiness summary of each warp's head instruction
+        (:meth:`Scoreboard.head_status`) only changes when the head
+        itself changes (an issue popped the buffer) or a producer is
+        recorded/resolved (the scoreboard version bumps), never with the
+        mere passage of time — so the per-cycle work for an unchanged
+        warp is two integer compares against cached absolute cycles,
+        and the IssueCandidate objects are memoised alongside.
+        """
+        threshold = self._pending_threshold
+        view = self._view
+        actv = view.actv_counts
+        rdy = view.rdy_counts
+        for cls in _ALL_OP_CLASSES:
+            actv[cls] = 0
+            rdy[cls] = 0
         candidates: List[IssueCandidate] = []
+        append = candidates.append
         pending = 0
-        for warp in self.warps:
-            if not warp.occupied:
+        active = 0
+        all_cands = self.scheduler.needs_all_candidates
+        ages = self._ages
+        for warp in self._resident:
+            buf = warp.ibuffer
+            if not buf:
                 continue
-            head = warp.head()
-            if head is None:
-                continue
-            if warp.scoreboard.blocking_memory(head, cycle, threshold):
+            scoreboard = warp.scoreboard
+            popped = warp.fetch_pc - len(buf)
+            if popped != warp.cache_popped \
+                    or warp.cache_version != scoreboard.version:
+                head = buf[0]
+                (warp.head_ready_at, warp.head_mem_until,
+                 warp.head_unresolved) = scoreboard.head_status(
+                    head, threshold)
+                warp.cache_popped = popped
+                warp.cache_version = scoreboard.version
+                warp.head_inst = head
+                age = ages[warp.slot]
+                warp.cand_ready = IssueCandidate(warp.slot, age, head,
+                                                 True)
+                warp.cand_stalled = (
+                    IssueCandidate(warp.slot, age, head, False)
+                    if all_cands else None)
+            if warp.head_unresolved or cycle < warp.head_mem_until:
                 pending += 1
                 continue
-            ready = warp.scoreboard.is_ready(head, cycle)
-            view.actv_counts[head.op_class] += 1
-            if ready:
-                view.rdy_counts[head.op_class] += 1
-            candidates.append(IssueCandidate(
-                slot=warp.slot, age=self._ages[warp.slot],
-                inst=head, ready=ready))
-        for cls in (OpClass.INT, OpClass.FP):
-            view.type_in_blackout[cls] = self._type_in_blackout(cycle, cls)
-        self.actv_counts = view.actv_counts
-        self.stats.sample_warp_population(len(candidates), pending)
+            active += 1
+            cls = warp.head_inst.op_class
+            actv[cls] += 1
+            if cycle >= warp.head_ready_at:
+                rdy[cls] += 1
+                append(warp.cand_ready)
+            elif all_cands:
+                append(warp.cand_stalled)
+        if self._has_blackout:
+            blackout = view.type_in_blackout
+            for cls in _CUDA_OP_CLASSES:
+                doms = self._blackout_domains[cls]
+                flag = bool(doms)
+                for domain in doms:
+                    gated_since = domain._gated_since
+                    if gated_since is None \
+                            or cycle - gated_since >= domain.bet:
+                        flag = False
+                        break
+                blackout[cls] = flag
+        self.actv_counts = actv
+        stats = self.stats
+        stats.active_warp_sum += active
+        stats.pending_warp_sum += pending
+        if active > stats.active_warp_max:
+            stats.active_warp_max = active
         return candidates, view
 
     def _type_in_blackout(self, cycle: int, cls: OpClass) -> bool:
-        pipes = self._by_kind[UNIT_FOR_OP_CLASS[cls]]
-        domains = [self.domains[p.name] for p in pipes
-                   if p.name in self.domains]
-        return bool(domains) and all(d.in_blackout(cycle) for d in domains)
+        if self._prepared:
+            domains = self._blackout_domains.get(cls, ())
+        else:
+            pipes = self._by_kind[UNIT_FOR_OP_CLASS[cls]]
+            domains = tuple(self.domains[p.name] for p in pipes
+                            if p.name in self.domains)
+        return bool(domains) and all(d.in_blackout(cycle)
+                                     for d in domains)
 
     # ------------------------------------------------------------------
     # stage 5: issue
@@ -441,79 +615,107 @@ class StreamingMultiprocessor:
 
     def _issue(self, cycle: int, candidates: List[IssueCandidate],
                view: SchedulerView) -> None:
-        ordered = self.scheduler.order(cycle, candidates, view)
-        issued = 0
-        if self.regfile is not None:
-            self.regfile.begin_cycle()
-        for candidate in ordered:
-            if issued >= self.config.issue_width:
-                break
-            pipe = self._acquire_unit(cycle, candidate.op_class,
-                                      candidate.slot)
-            if pipe is None:
-                continue
-            warp = self.warps[candidate.slot]
-            inst = warp.pop_head()
-            # Operand-collector bank conflicts delay both the dispatch
-            # port and the result; the scoreboard sees the late start.
-            conflict = (self.regfile.charge(candidate.slot, inst)
-                        if self.regfile is not None else 0)
-            warp.scoreboard.record_issue(inst, cycle + conflict)
-            pipe.issue(cycle, candidate.slot, inst, extra_hold=conflict)
-            warp.outstanding += 1
-            self.stats.instructions_issued += 1
-            self.stats.issued_by_class[inst.op_class] += 1
-            self.scheduler.on_issue(cycle, candidate)
-            issued += 1
-        if issued < self.config.issue_width and not ordered:
-            empty_slots = self.config.issue_width - issued
-            self.stats.stalls.no_ready_warp += empty_slots
-            if self.bus.enabled:
-                for _ in range(empty_slots):
-                    self.bus.publish(IssueStall(cycle, "no_ready_warp"))
+        """Walk the scheduler's priority order, filling the issue width.
 
-    def _acquire_unit(self, cycle: int, op_class: OpClass,
-                      warp_slot: int) -> Optional[ExecPipeline]:
-        """Find the pipeline serving ``op_class`` for this warp.
-
-        CUDA-core (INT/FP) work is *bound* to the warp's home SP cluster
-        (``slot mod n_clusters``), modelling Fermi's static warp-to-
-        scheduler assignment — a warp cannot migrate to the other
-        cluster when its own is busy or asleep.  On a power-gating miss
-        the home cluster receives a wakeup request (granted immediately
-        under conventional gating, denied while in blackout).
+        The unit-acquisition logic (MSHR back-pressure, the warp's home
+        SP cluster, power-gating hazards, the structural port check) is
+        inlined here against the precomputed ``_unit_table`` — this loop
+        plus :meth:`_classify` dominates busy-cycle runtime.  CUDA-core
+        (INT/FP) work is *bound* to the warp's home cluster (``slot mod
+        n_clusters``), modelling Fermi's static warp-to-scheduler
+        assignment — a warp cannot migrate to the other cluster when its
+        own is busy or asleep.  On a power-gating miss the home cluster
+        receives a wakeup request (granted immediately under
+        conventional gating, denied while in blackout).
         """
-        kind = UNIT_FOR_OP_CLASS[op_class]
-        if kind is ExecUnitKind.LDST and self._retry:
-            # MSHR back-pressure holds the LDST port for retries.
-            self.stats.stalls.mshr_full += 1
-            self._publish_stall(cycle, "mshr_full")
-            return None
-        pipes = self._by_kind[kind]
-        pipe = pipes[warp_slot % len(pipes)]
-        domain = self.domains.get(pipe.name)
-        if domain is not None and not domain.available_for_issue(cycle):
-            if domain.state(cycle) is DomainState.WAKING:
-                self.stats.stalls.unit_waking += 1
-                self._publish_stall(cycle, "unit_waking")
-                return None
-            domain.request_wakeup(cycle)
-            if domain.is_gated(cycle):
-                self.stats.stalls.unit_gated += 1
-                self._publish_stall(cycle, "unit_gated")
-            else:
-                self.stats.stalls.unit_waking += 1
-                self._publish_stall(cycle, "unit_waking")
-            return None
-        if not pipe.port_available(cycle):
-            self.stats.stalls.structural += 1
-            self._publish_stall(cycle, "structural")
-            return None
-        return pipe
-
-    def _publish_stall(self, cycle: int, reason: str) -> None:
-        if self.bus.enabled:
-            self.bus.publish(IssueStall(cycle, reason))
+        ordered = self.scheduler.order(cycle, candidates, view)
+        width = self._issue_width
+        issued = 0
+        regfile = self.regfile
+        if regfile is not None:
+            regfile.begin_cycle()
+        if ordered:
+            stats = self.stats
+            stalls = stats.stalls
+            unit_table = self._unit_table
+            warps = self.warps
+            bus = self.bus
+            publish_events = bus.enabled
+            for candidate in ordered:
+                if issued >= width:
+                    break
+                inst = candidate.inst
+                pipes, doms, n_pipes, is_ldst = unit_table[inst.op_class]
+                if is_ldst and self._retry:
+                    # MSHR back-pressure holds the LDST port for retries.
+                    stalls.mshr_full += 1
+                    if publish_events:
+                        bus.publish(IssueStall(cycle, "mshr_full"))
+                    continue
+                slot = candidate.slot
+                index = slot % n_pipes
+                pipe = pipes[index]
+                domain = doms[index]
+                if domain is not None \
+                        and not (domain._gated_since is None
+                                 and cycle >= domain._wake_done):
+                    # Unavailable: replicate the legacy hazard ladder.
+                    if domain.state(cycle) is DomainState.WAKING:
+                        stalls.unit_waking += 1
+                        if publish_events:
+                            bus.publish(IssueStall(cycle, "unit_waking"))
+                        continue
+                    domain.request_wakeup(cycle)
+                    if domain._gated_since is not None:
+                        stalls.unit_gated += 1
+                        if publish_events:
+                            bus.publish(IssueStall(cycle, "unit_gated"))
+                    else:
+                        stalls.unit_waking += 1
+                        if publish_events:
+                            bus.publish(IssueStall(cycle, "unit_waking"))
+                    continue
+                if cycle < pipe._port_free_at:
+                    stalls.structural += 1
+                    if publish_events:
+                        bus.publish(IssueStall(cycle, "structural"))
+                    continue
+                warp = warps[slot]
+                warp.ibuffer.popleft()
+                # Operand-collector bank conflicts delay both the
+                # dispatch port and the result; the scoreboard sees the
+                # late start.
+                conflict = (regfile.charge(slot, inst)
+                            if regfile is not None else 0)
+                warp.scoreboard.record_issue(inst, cycle + conflict)
+                pipe.issue(cycle, slot, inst, extra_hold=conflict)
+                # SM-wide busy watermark (span-based SM_WIDE tracker).
+                until = self._sm_busy_until
+                if cycle >= until:
+                    tracker = self._sm_tracker
+                    tracker.observe_busy_span(until - self._sm_span_start)
+                    tracker.observe_idle_span(cycle - until)
+                    self._sm_span_start = cycle
+                    until = cycle
+                pipe_until = pipe.busy_until
+                if pipe_until > until:
+                    until = pipe_until
+                self._sm_busy_until = until
+                warp.outstanding += 1
+                stats.instructions_issued += 1
+                stats.issued_by_class[inst.op_class] += 1
+                self.scheduler.on_issue(cycle, candidate)
+                issued += 1
+        else:
+            self.stats.stalls.no_ready_warp += width
+            bus = self.bus
+            if bus.enabled:
+                # The per-lane stall records are identical; publish one
+                # immutable instance ``width`` times.
+                stall = IssueStall(cycle, "no_ready_warp")
+                publish = bus.publish
+                for _ in range(width):
+                    publish(stall)
 
     # ------------------------------------------------------------------
     # stage 6: power-gating update
@@ -525,21 +727,46 @@ class StreamingMultiprocessor:
     SM_WIDE_TRACKER = "SM_WIDE"
 
     def _update_power(self, cycle: int) -> None:
-        any_busy = False
-        for pipe in self.pipelines:
-            busy = pipe.is_busy(cycle)
-            any_busy = any_busy or busy
-            self.stats.tracker(pipe.name).observe(busy)
-            domain = self.domains.get(pipe.name)
-            if domain is not None:
-                domain.observe(cycle, busy)
-        self.stats.tracker(self.SM_WIDE_TRACKER).observe(any_busy)
+        """End-of-cycle power-gating controller updates.
+
+        Idle-period trackers no longer appear here at all: busy/idle
+        state only changes at issue boundaries, so per-pipe and SM-wide
+        spans are integrated lazily at issue (see
+        :meth:`ExecPipeline.issue`) and flushed once by
+        :meth:`_flush_spans` — a run without gating domains pays zero
+        per-cycle power/stats cost.  Gating domains still observe every
+        cycle because their policies read live cross-domain state
+        (peer gating, ACTV counts).  Post-writeback, a pipeline is busy
+        iff ``cycle < busy_until`` (the issue-maintained watermark).
+        """
+        for pipe, domain in self._gated_pipes:
+            domain.observe(cycle, cycle < pipe.busy_until)
 
     # ------------------------------------------------------------------
     # result assembly
     # ------------------------------------------------------------------
 
+    def _flush_spans(self, end_cycle: int) -> None:
+        """Integrate every open busy/idle span into the idle trackers.
+
+        Together with the issue-time flushes this partitions exactly
+        [0, end_cycle) per tracker, reproducing what the legacy
+        per-cycle ``observe`` calls accumulated.
+        """
+        tracker = self._sm_tracker
+        if tracker is None:
+            return  # zero-cycle run: trackers were never created
+        for pipe in self.pipelines:
+            pipe.finalize_tracker(end_cycle)
+        busy_end = self._sm_busy_until
+        if busy_end > end_cycle:
+            busy_end = end_cycle
+        tracker.observe_busy_span(busy_end - self._sm_span_start)
+        if end_cycle > busy_end:
+            tracker.observe_idle_span(end_cycle - busy_end)
+
     def _collect(self, cycles: int) -> SimResult:
+        self._flush_spans(cycles)
         self.stats.finalize()
         for domain in self.domains.values():
             domain.finalize(cycles)

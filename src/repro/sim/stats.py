@@ -67,6 +67,31 @@ class IdlePeriodTracker:
             self.idle_cycles += 1
             self._current_run += 1
 
+    def observe_busy_span(self, span: int) -> None:
+        """Record ``span`` consecutive busy cycles in one call.
+
+        Exactly equivalent to ``span`` calls of ``observe(True)``: the
+        first busy cycle closes the current idle run (one histogram
+        entry), the rest just extend the busy count.  ``span == 0`` is a
+        no-op and leaves any open idle run open.  Together with
+        :meth:`observe_idle_span` this is the span-based accumulation
+        interface the SM's zero-overhead stats path uses: busy/idle
+        state changes only happen at issue boundaries, so the SM
+        integrates whole spans there instead of touching the tracker
+        every cycle.
+        """
+        if self._finalized:
+            raise RuntimeError(
+                "IdlePeriodTracker.observe_busy_span() after finalize(): "
+                "build a fresh tracker for a new run")
+        if span <= 0:
+            return
+        self.busy_cycles += span
+        if self._current_run:
+            self.histogram[self._current_run] = \
+                self.histogram.get(self._current_run, 0) + 1
+            self._current_run = 0
+
     def observe_idle_span(self, span: int) -> None:
         """Record ``span`` consecutive idle cycles in one call.
 

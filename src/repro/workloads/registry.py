@@ -10,6 +10,7 @@ use ``scale=1.0``.
 from __future__ import annotations
 
 from dataclasses import replace
+from functools import lru_cache
 from typing import Dict, Optional, Sequence
 
 from repro.isa.trace import KernelTrace
@@ -39,8 +40,20 @@ def scaled_spec(spec: TraceSpec, scale: float) -> TraceSpec:
     )
 
 
+@lru_cache(maxsize=64)
+def _generate_cached(name: str, seed: int, scale: float) -> KernelTrace:
+    profile = get_profile(name)
+    return TraceGenerator(scaled_spec(profile.spec, scale), seed=seed).generate()
+
+
 def build_kernel(name: str, seed: int = 0, scale: float = 1.0) -> KernelTrace:
     """Generate the kernel trace for one benchmark.
+
+    Generation is deterministic and every trace object is frozen, so
+    results are memoised per ``(name, seed, scale)``: an experiment grid
+    that replays the same workload under several techniques builds the
+    trace once instead of once per cell.  Callers share the returned
+    object and must keep treating it as immutable.
 
     Args:
         name: Benchmark name (see ``BENCHMARK_NAMES``).
@@ -48,8 +61,7 @@ def build_kernel(name: str, seed: int = 0, scale: float = 1.0) -> KernelTrace:
             techniques so every technique replays the identical trace.
         scale: Workload size multiplier (1.0 = full model).
     """
-    profile = get_profile(name)
-    return TraceGenerator(scaled_spec(profile.spec, scale), seed=seed).generate()
+    return _generate_cached(name, int(seed), float(scale))
 
 
 def build_all_kernels(seed: int = 0, scale: float = 1.0,

@@ -87,9 +87,10 @@ class TestRepositoryDocuments:
         design = (REPO / "DESIGN.md").read_text()
         for bench in sorted((REPO / "benchmarks").glob("bench_*.py")):
             # Figure benches must be in the DESIGN index; housekeeping
-            # benches (simulator/engine speed) are exempt.
+            # benches (simulator/engine/core-loop speed) are exempt.
             if bench.name in ("bench_simulator_speed.py",
-                              "bench_engine.py"):
+                              "bench_engine.py",
+                              "bench_core.py"):
                 continue
             assert bench.name in design, \
                 f"{bench.name} missing from DESIGN.md's experiment index"

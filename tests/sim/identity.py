@@ -1,0 +1,167 @@
+"""Canonical serialization + digests pinning simulator bit-identity.
+
+The busy-cycle hot-loop optimization (incremental ready-set scheduling,
+span-based stats) must be *pinned bit-identical* to the pre-optimization
+cycle loop.  This module turns a :class:`~repro.sim.sm.SimResult` (and
+an instrumented run's ordered event stream) into a canonical JSON form
+and a sha256 digest over it.
+
+The reference digests in ``tests/sim/golden/identity.json`` were
+generated from the pre-optimization loop; ``test_golden_identity.py``
+recomputes them on every run, so any observable drift in the scheduler,
+scoreboard, stats, or gating paths fails loudly with the technique and
+benchmark named.
+
+Regenerate (only when an *intentional* behaviour change lands) with::
+
+    PYTHONPATH=src:. python tests/sim/identity.py --write
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "identity.json"
+
+#: The grid the golden suite pins: every paper technique plus the
+#: ungated baseline, over one balanced and one memory-bound benchmark.
+GOLDEN_TECHNIQUES = ("baseline", "gates", "naive_blackout",
+                     "coord_blackout", "warped_gates")
+GOLDEN_BENCHMARKS = ("hotspot", "bfs")
+GOLDEN_SCALE = 0.5
+
+
+def _canon(value):
+    """Recursively convert a value into JSON-stable primitives."""
+    if isinstance(value, dict):
+        return {str(_canon(k)): _canon(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, float):
+        # repr() is the shortest round-trip form — exact for identical
+        # arithmetic, which is precisely what bit-identity means here.
+        return repr(value)
+    if isinstance(value, (int, str, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canon(dataclasses.asdict(value))
+    if hasattr(value, "name"):  # enums (OpClass, ExecUnitKind, ...)
+        return value.name
+    return str(value)
+
+
+def canonical_result(result) -> dict:
+    """Everything observable about one run, in canonical form."""
+    stats = result.stats
+    return _canon({
+        "kernel_name": result.kernel_name,
+        "technique": result.technique,
+        "cycles": result.cycles,
+        "stats": {
+            "cycles": stats.cycles,
+            "instructions_issued": stats.instructions_issued,
+            "instructions_retired": stats.instructions_retired,
+            "fetched": stats.fetched,
+            "issued_by_class": {cls.name: n
+                                for cls, n in stats.issued_by_class.items()},
+            "stalls": dataclasses.asdict(stats.stalls),
+            "active_warp_sum": stats.active_warp_sum,
+            "active_warp_max": stats.active_warp_max,
+            "pending_warp_sum": stats.pending_warp_sum,
+            "idle_trackers": {
+                name: {"busy": t.busy_cycles, "idle": t.idle_cycles,
+                       "histogram": {str(k): v
+                                     for k, v in sorted(t.histogram.items())}}
+                for name, t in sorted(stats.idle_trackers.items())},
+        },
+        "memory": result.memory,
+        "domain_stats": {name: result.domain_stats[name]
+                         for name in sorted(result.domain_stats)},
+        "idle_detect_final": result.idle_detect_final,
+        "pipeline_issues": result.pipeline_issues,
+        "pipeline_lane_work": result.pipeline_lane_work,
+        "warp_records": [dataclasses.asdict(r) for r in result.warp_records],
+        "metrics": result.metrics,
+    })
+
+
+def result_digest(result) -> str:
+    """sha256 over the canonical JSON of one run."""
+    payload = json.dumps(canonical_result(result), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def canonical_events(events) -> list:
+    """An instrumented run's event stream in canonical form, ordered."""
+    return [[type(e).__name__, _canon(dataclasses.asdict(e))]
+            for e in events]
+
+
+def event_stream_digest(events) -> str:
+    """sha256 over the ordered canonical event stream."""
+    payload = json.dumps(canonical_events(events), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# golden grid runners (shared by the test and the regeneration entry)
+# ----------------------------------------------------------------------
+
+def run_golden_cell(benchmark: str, technique_value: str):
+    """One serial (no fast-forward) golden run."""
+    from repro.core.techniques import (Technique, TechniqueConfig,
+                                       run_benchmark)
+    return run_benchmark(benchmark, TechniqueConfig(Technique(technique_value)),
+                         seed=0, scale=GOLDEN_SCALE)
+
+
+def run_instrumented_golden(benchmark: str = "hotspot",
+                            technique_value: str = "warped_gates"):
+    """One bus-enabled golden run; returns (result, events)."""
+    from repro.core.techniques import Technique, TechniqueConfig, build_sm
+    from repro.obs.bus import EventBus
+    from repro.workloads.registry import build_kernel
+    from repro.workloads.specs import get_profile
+
+    kernel = build_kernel(benchmark, seed=0, scale=GOLDEN_SCALE)
+    bus = EventBus(enabled=True)
+    sm = build_sm(kernel, TechniqueConfig(Technique(technique_value)),
+                  dram_latency=get_profile(benchmark).dram_latency, bus=bus)
+    events = []
+    bus.subscribe(events.append)
+    return sm.run(), events
+
+
+def compute_goldens() -> dict:
+    """Digest every golden cell plus the instrumented event stream."""
+    digests = {}
+    for benchmark in GOLDEN_BENCHMARKS:
+        for technique in GOLDEN_TECHNIQUES:
+            result = run_golden_cell(benchmark, technique)
+            digests[f"{benchmark}/{technique}"] = result_digest(result)
+    result, events = run_instrumented_golden()
+    digests["events/hotspot/warped_gates"] = event_stream_digest(events)
+    digests["events/hotspot/warped_gates/result"] = result_digest(result)
+    return digests
+
+
+def load_goldens() -> dict:
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+if __name__ == "__main__":
+    import sys
+
+    digests = compute_goldens()
+    if "--write" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(digests, indent=2, sort_keys=True)
+                               + "\n", encoding="utf-8")
+        print(f"wrote {len(digests)} digests to {GOLDEN_PATH}")
+    else:
+        print(json.dumps(digests, indent=2, sort_keys=True))

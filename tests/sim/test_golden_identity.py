@@ -1,0 +1,62 @@
+"""Golden bit-identity suite: the optimized loop must not drift.
+
+The busy-cycle rework (incremental ready-set scheduling, span-based
+stats, the trace cache, the bus dispatch cache) is a pure-performance
+change — every observable of a run must match the pre-optimization loop
+bit for bit.  These tests recompute sha256 digests over the canonical
+form of each golden cell (see :mod:`tests.sim.identity`) and compare
+them to the committed references in ``tests/sim/golden/identity.json``.
+
+A failure here means an optimization changed *behaviour*, not just
+speed: a reordered RNG draw, a stats counter accumulated differently, a
+scheduler tie broken the other way.  Fix the drift — only regenerate
+the goldens (``PYTHONPATH=src:. python tests/sim/identity.py --write``)
+for an intentional, reviewed behaviour change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.sim.identity import (GOLDEN_BENCHMARKS, GOLDEN_TECHNIQUES,
+                                event_stream_digest, load_goldens,
+                                result_digest, run_golden_cell,
+                                run_instrumented_golden)
+
+GOLDENS = load_goldens()
+
+_CELLS = [(b, t) for b in GOLDEN_BENCHMARKS for t in GOLDEN_TECHNIQUES]
+
+
+@pytest.mark.parametrize("bench_name,technique", _CELLS)
+def test_result_digest_matches_golden(bench_name, technique):
+    """Each technique x benchmark cell reproduces its committed digest."""
+    result = run_golden_cell(bench_name, technique)
+    assert result_digest(result) == GOLDENS[f"{bench_name}/{technique}"], (
+        f"{technique} on {bench_name} drifted from the golden digest — "
+        "an optimization changed observable behaviour")
+
+
+def test_event_stream_matches_golden():
+    """A bus-enabled run publishes the identical ordered event stream."""
+    _, events = run_instrumented_golden()
+    assert events, "instrumented golden run published no events"
+    assert (event_stream_digest(events)
+            == GOLDENS["events/hotspot/warped_gates"]), (
+        "the instrumented event stream drifted (order, payload, or "
+        "count) from the golden digest")
+
+
+def test_instrumented_result_equals_serial():
+    """Enabling the bus must not perturb the simulation itself.
+
+    The instrumented run's result digest is committed twice on purpose:
+    ``events/hotspot/warped_gates/result`` must equal the serial
+    ``hotspot/warped_gates`` digest, proving observability is read-only.
+    """
+    result, _ = run_instrumented_golden()
+    digest = result_digest(result)
+    assert digest == GOLDENS["events/hotspot/warped_gates/result"]
+    assert digest == GOLDENS["hotspot/warped_gates"], (
+        "bus-enabled and bus-disabled runs diverged — instrumentation "
+        "is no longer zero-impact on simulation state")
