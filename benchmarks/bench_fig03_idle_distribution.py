@@ -9,7 +9,6 @@ baseline scheduler + conventional gating, GATES, and GATES + Blackout.
 import pytest
 
 from repro.analysis.report import format_table
-from repro.core.techniques import Technique
 from repro.harness import figures
 from repro.harness.experiment import ExperimentRunner, ExperimentSettings
 

@@ -21,7 +21,6 @@ from repro.core.techniques import (  # noqa: E402
     TechniqueConfig,
     build_sm,
 )
-from repro.isa.optypes import ExecUnitKind  # noqa: E402
 
 from conftest import print_figure  # noqa: E402
 

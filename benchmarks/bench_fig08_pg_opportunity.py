@@ -13,7 +13,6 @@ Three panels over the integer unit (FP trends match, per the paper):
 
 from repro.analysis.report import format_table
 from repro.harness import figures
-from repro.isa.optypes import ExecUnitKind
 
 from conftest import print_figure
 

@@ -7,7 +7,6 @@ recovers to ~2% and Warped Gates lands back near ConvPG.
 """
 
 from repro.analysis.report import format_table
-from repro.core.techniques import Technique
 from repro.harness import figures
 
 from conftest import print_figure

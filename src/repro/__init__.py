@@ -17,6 +17,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
 """
 
+from repro.core.spec import (
+    GatingPolicySpec,
+    SchedulerSpec,
+    TechniqueSpec,
+    register_technique,
+    technique_spec,
+)
 from repro.core.techniques import (
     PAPER_TECHNIQUES,
     Technique,
@@ -34,6 +41,11 @@ __all__ = [
     "PAPER_TECHNIQUES",
     "Technique",
     "TechniqueConfig",
+    "GatingPolicySpec",
+    "SchedulerSpec",
+    "TechniqueSpec",
+    "register_technique",
+    "technique_spec",
     "build_sm",
     "run_benchmark",
     "EnergyParams",

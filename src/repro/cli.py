@@ -9,15 +9,27 @@ Commands:
   rows; ``--csv`` / ``--json`` export them).
 * ``characterize``  — the Figure 5 workload-characterisation tables.
 * ``sweep``         — Figure 11 parameter sweeps (``bet`` / ``wakeup``).
+* ``spec``          — inspect (``show``) or check (``validate``)
+  declarative technique specs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_fraction, format_table
+from repro.core.spec import (
+    TechniqueSpec,
+    technique_names,
+    technique_spec,
+    techniques_by_group,
+    unknown_name_error,
+    validate_names,
+)
 from repro.core.techniques import Technique
 from repro.engine.faults import JobFailedError, last_error_line
 from repro.harness import figures
@@ -107,8 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_cmd = sub.add_parser("run", help="run one benchmark/technique")
     run_cmd.add_argument("benchmark", choices=BENCHMARK_NAMES)
-    run_cmd.add_argument("technique",
-                         choices=[t.value for t in Technique])
+    run_cmd.add_argument("technique", nargs="?", default=None,
+                         type=_technique_name,
+                         help="registered technique name (see "
+                              "'repro list'); omit when using --spec")
+    run_cmd.add_argument("--spec", metavar="PATH", default=None,
+                         dest="spec_file",
+                         help="run a technique defined by a JSON spec "
+                              "file instead of a registered name")
     run_cmd.add_argument("--emit-events", metavar="PATH", default=None,
                          help="write the run's event stream as JSONL")
     run_cmd.add_argument("--emit-chrome-trace", metavar="PATH",
@@ -145,18 +163,57 @@ def build_parser() -> argparse.ArgumentParser:
     replicate_cmd.add_argument("--seeds", type=int, default=3,
                                help="number of seeds (default 3)")
 
+    spec_cmd = sub.add_parser(
+        "spec", help="inspect or validate technique specs")
+    spec_sub = spec_cmd.add_subparsers(dest="spec_command", required=True)
+    show_cmd = spec_sub.add_parser(
+        "show", help="print a registered technique's spec as JSON")
+    show_cmd.add_argument("name", type=_technique_name)
+    validate_cmd = spec_sub.add_parser(
+        "validate", help="check a JSON spec file against the schema")
+    validate_cmd.add_argument("path", help="spec JSON path")
+
     return parser
+
+
+def _technique_name(name: str) -> str:
+    """Argparse ``type`` hook: any registered technique name.
+
+    Raising :class:`argparse.ArgumentTypeError` keeps the parse-time
+    ``SystemExit`` contract while printing the difflib suggestion
+    instead of argparse's raw choices dump.
+    """
+    if name not in technique_names():
+        raise argparse.ArgumentTypeError(
+            str(unknown_name_error("technique", name, technique_names())))
+    return name
 
 
 def _parse_benchmarks(raw: Optional[str]) -> Tuple[str, ...]:
     if raw is None:
         return BENCHMARK_NAMES
     names = tuple(name.strip() for name in raw.split(",") if name.strip())
-    unknown = [n for n in names if n not in BENCHMARK_NAMES]
-    if unknown or not names:
-        known = ", ".join(BENCHMARK_NAMES)
-        raise SystemExit(f"unknown benchmarks {unknown}; known: {known}")
-    return names
+    try:
+        return validate_names(names, BENCHMARK_NAMES, "benchmark")
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _load_spec_file(path: str) -> TechniqueSpec:
+    """Parse + schema-validate a technique-spec JSON file."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read spec file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}") \
+            from exc
+    try:
+        spec = TechniqueSpec.from_dict(document)
+        spec.validate()
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"error: invalid spec {path}: {exc}") from exc
+    return spec
 
 
 def _engine(args: argparse.Namespace):
@@ -202,14 +259,33 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         engine=_engine(args))
 
 
+#: Display heading per technique registry group, in print order.
+_GROUP_HEADINGS = (
+    ("paper", "paper techniques"),
+    ("ablation", "ablations"),
+    ("user", "user-registered"),
+)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
-    """List benchmarks, techniques and figure names."""
+    """List benchmarks, techniques (grouped, described) and figures."""
     print("benchmarks:")
     for name in BENCHMARK_NAMES:
         print(f"  {name}")
     print("techniques:")
-    for technique in Technique:
-        print(f"  {technique.value}")
+    grouped = techniques_by_group()
+    width = max(len(spec.name)
+                for specs in grouped.values() for spec in specs)
+    for group, heading in _GROUP_HEADINGS:
+        specs = grouped.get(group, [])
+        if not specs:
+            continue
+        print(f"  {heading}:")
+        for spec in specs:
+            line = f"    {spec.name:<{width}}"
+            if spec.description:
+                line += f"  {spec.description}"
+            print(line.rstrip())
     print("figures:")
     for name in sorted(FIGURE_BUILDERS):
         print(f"  {name}")
@@ -219,12 +295,21 @@ def cmd_list(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one benchmark under one technique; print headline metrics.
 
-    ``--emit-events`` / ``--emit-chrome-trace`` instrument *the
-    requested run only* (the baseline/savings companion runs are
+    The technique is either a registered name or, via ``--spec``, a
+    JSON spec file — any scheduler × gating-policy × adaptive
+    composition runs through the exact same path as the paper's named
+    techniques.  ``--emit-events`` / ``--emit-chrome-trace`` instrument
+    *the requested run only* (the baseline/savings companion runs are
     simulated with the bus disabled); ``--profile`` prints the
     provenance manifest of every simulation the command performed.
     """
     from repro.obs import ChromeTraceExporter, EventBus, JsonlEventLog
+
+    if (args.technique is None) == (args.spec_file is None):
+        raise SystemExit(
+            "error: give exactly one of a technique name or --spec FILE")
+    spec = (_load_spec_file(args.spec_file) if args.spec_file
+            else technique_spec(args.technique))
 
     instrument = bool(args.emit_events or args.emit_chrome_trace)
     bus = EventBus(enabled=instrument) if instrument else None
@@ -238,8 +323,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed, scale=args.scale,
         benchmarks=_parse_benchmarks(args.benchmarks)), bus=bus,
         engine=None if instrument else _engine(args))
-    technique = Technique(args.technique)
-    result = runner.run(args.benchmark, technique)
+    result = runner.run(args.benchmark, spec)
     if bus is not None:
         bus.disable()  # companion runs below stay uninstrumented
     if event_log is not None:
@@ -251,10 +335,12 @@ def cmd_run(args: argparse.Namespace) -> int:
                            end_cycle=result.cycles)
         print(f"wrote {args.emit_chrome_trace}")
     base = runner.baseline(args.benchmark)
-    int_savings = runner.static_savings(args.benchmark, technique,
-                                        ExecUnitKind.INT)
-    fp_savings = runner.static_savings(args.benchmark, technique,
-                                       ExecUnitKind.FP)
+    int_savings = runner.static_savings(args.benchmark, spec,
+                                        ExecUnitKind.INT,
+                                        gating=spec.gating)
+    fp_savings = runner.static_savings(args.benchmark, spec,
+                                       ExecUnitKind.FP,
+                                       gating=spec.gating)
     rows = [
         ("cycles", result.cycles),
         ("ipc", round(result.stats.ipc, 3)),
@@ -266,18 +352,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         ("l1_miss_rate", round(result.memory.miss_rate, 3)),
     ]
     print(format_table(("metric", "value"), rows,
-                       title=f"{args.benchmark} / {technique.value}"))
+                       title=f"{args.benchmark} / {spec.name}"))
     if args.profile:
         print()
         print(format_table(
-            ("benchmark", "technique", "config", "cycles",
+            ("benchmark", "technique", "config", "cycles", "cache",
              "build_s", "simulate_s", "cycles/s"),
             [[m.benchmark, m.technique, m.config_hash, m.cycles,
+              "hit" if m.cache_hit else "miss",
               round(m.wall_seconds.get("build_trace", 0.0), 3),
               round(m.wall_seconds.get("simulate", 0.0), 3),
               f"{m.cycles_per_sec:,.0f}"]
              for m in runner.manifests],
-            title="Run manifests (uncached simulations)"))
+            title="Run manifests"))
     return 0
 
 
@@ -371,6 +458,19 @@ def cmd_replicate(args: argparse.Namespace) -> int:
     return _failure_exit(failure_log)
 
 
+def cmd_spec(args: argparse.Namespace) -> int:
+    """Inspect (``show``) or check (``validate``) technique specs."""
+    if args.spec_command == "show":
+        spec = technique_spec(args.name)
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        print(f"spec_hash: {spec.spec_hash()}", file=sys.stderr)
+        return 0
+    spec = _load_spec_file(args.path)  # exits non-zero with the reason
+    print(f"{args.path}: ok — technique {spec.name!r}, "
+          f"spec_hash {spec.spec_hash()}")
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -380,6 +480,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "energy": cmd_energy,
     "replicate": cmd_replicate,
+    "spec": cmd_spec,
 }
 
 

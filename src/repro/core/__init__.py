@@ -8,14 +8,29 @@
   :mod:`repro.power.gating`.
 * :mod:`repro.core.adaptive` -- Adaptive idle-detect (section 5.1),
   the epoch-based critical-wakeup feedback controller.
-* :mod:`repro.core.techniques` -- the technique registry and the
-  ``build_sm`` factory wiring scheduler + policies + hooks onto a
-  simulator instance; ``Technique.WARPED_GATES`` is the full system.
+* :mod:`repro.core.spec` -- declarative technique identity: frozen
+  :class:`~repro.core.spec.TechniqueSpec` values, the scheduler /
+  gating-policy plugin registries, JSON round-trip and ``spec_hash()``.
+* :mod:`repro.core.techniques` -- the paper's named techniques
+  registered as specs and the ``build_sm`` factory wiring scheduler +
+  policies + hooks onto a simulator instance;
+  ``Technique.WARPED_GATES`` is the full system.
 """
 
 from repro.core.gates import GatesScheduler
 from repro.core.blackout import NaiveBlackoutPolicy, CoordinatedBlackoutPolicy
 from repro.core.adaptive import AdaptiveIdleDetect
+from repro.core.spec import (
+    GatingPolicySpec,
+    SchedulerSpec,
+    TechniqueSpec,
+    as_spec,
+    register_gating_policy,
+    register_scheduler,
+    register_technique,
+    technique_names,
+    technique_spec,
+)
 from repro.core.techniques import (
     Technique,
     TechniqueConfig,
@@ -28,6 +43,15 @@ __all__ = [
     "NaiveBlackoutPolicy",
     "CoordinatedBlackoutPolicy",
     "AdaptiveIdleDetect",
+    "GatingPolicySpec",
+    "SchedulerSpec",
+    "TechniqueSpec",
+    "as_spec",
+    "register_gating_policy",
+    "register_scheduler",
+    "register_technique",
+    "technique_names",
+    "technique_spec",
     "Technique",
     "TechniqueConfig",
     "build_sm",

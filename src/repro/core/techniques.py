@@ -1,5 +1,15 @@
 """Technique registry and simulator wiring.
 
+Technique identity lives in :mod:`repro.core.spec`: a
+:class:`~repro.core.spec.TechniqueSpec` names a registered scheduler, a
+registered gating policy, an optional adaptive idle-detect config and
+the gating/SM parameter overrides.  This module registers the paper's
+named techniques (plus the design-discussion ablations) as specs and
+keeps the original closed :class:`Technique` enum as *named aliases*
+into that registry — every ``Technique.X`` / ``.value`` call site keeps
+working, while arbitrary scheduler x gating x adaptive compositions run
+through the same :func:`build_sm` without touching core code.
+
 Names follow the paper's evaluation nomenclature (section 7.2):
 
 * ``BASELINE``          — two-level scheduler, no power gating.
@@ -26,27 +36,35 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.adaptive import AdaptiveConfig, AdaptiveIdleDetect
-from repro.core.blackout import CoordinatedBlackoutPolicy, NaiveBlackoutPolicy
-from repro.core.gates import GatesScheduler
+from repro.core.spec import (
+    GatingPolicySpec,
+    PolicyContext,
+    SchedulerSpec,
+    TechniqueSpec,
+    as_spec,
+    gating_policy_plugin,
+    register_technique,
+    scheduler_plugin,
+    technique_spec,
+)
 from repro.isa.optypes import OpClass, UNIT_FOR_OP_CLASS
 from repro.isa.trace import KernelTrace
 from repro.obs.bus import EventBus
-from repro.power.gating import ConventionalPolicy, GatingDomain, GatingPolicy
+from repro.power.gating import ConventionalPolicy, GatingDomain
 from repro.power.params import GatingParams
 from repro.sim.config import SMConfig
-from repro.sim.sched.ccws import CCWSScheduler, MonitorDecayHook
-from repro.sim.sched.fetch_group import FetchGroupScheduler
-from repro.sim.sched.two_level import (
-    LooseRoundRobinScheduler,
-    TwoLevelScheduler,
-)
 from repro.sim.sm import SimResult, StreamingMultiprocessor
 from repro.workloads.registry import build_kernel
 from repro.workloads.specs import get_profile
 
 
 class Technique(enum.Enum):
-    """Scheduling / power-gating configurations under evaluation."""
+    """Scheduling / power-gating configurations under evaluation.
+
+    Each member's ``value`` is the name of a registered
+    :class:`~repro.core.spec.TechniqueSpec`; ``Technique.X.spec``
+    resolves it.
+    """
 
     BASELINE = "baseline"
     CONV_PG = "conv_pg"
@@ -61,6 +79,11 @@ class Technique(enum.Enum):
     FETCH_GROUP_CONV_PG = "fetch_group_conv_pg"
     CCWS_CONV_PG = "ccws_conv_pg"
 
+    @property
+    def spec(self) -> TechniqueSpec:
+        """The registered spec this enum member aliases."""
+        return technique_spec(self.value)
+
 
 #: The five techniques of Figures 9 and 10, in the paper's legend order.
 PAPER_TECHNIQUES = (
@@ -71,32 +94,75 @@ PAPER_TECHNIQUES = (
     Technique.WARPED_GATES,
 )
 
-_GATES_SCHEDULED = {
-    Technique.GATES,
-    Technique.NAIVE_BLACKOUT,
-    Technique.COORD_BLACKOUT,
-    Technique.WARPED_GATES,
-    Technique.GATES_NO_PG,
-}
 
-_GATED = {
-    Technique.CONV_PG,
-    Technique.GATES,
-    Technique.NAIVE_BLACKOUT,
-    Technique.COORD_BLACKOUT,
-    Technique.WARPED_GATES,
-    Technique.BLACKOUT_NO_GATES,
-    Technique.LRR_CONV_PG,
-    Technique.FETCH_GROUP_CONV_PG,
-    Technique.CCWS_CONV_PG,
-}
+# ----------------------------------------------------------------------
+# builtin technique registration (the enum's registry backing)
+# ----------------------------------------------------------------------
 
-_BLACKOUT_AWARE = {Technique.COORD_BLACKOUT, Technique.WARPED_GATES}
+_TWO_LEVEL = SchedulerSpec("two_level")
+_GATES_SCHED = SchedulerSpec("gates")
+_NO_PG = GatingPolicySpec("none")
+_CONV = GatingPolicySpec("conventional")
+_NAIVE = GatingPolicySpec("naive_blackout")
+_COORD = GatingPolicySpec("coordinated_blackout")
+
+for _spec, _group in (
+    (TechniqueSpec(
+        "baseline", scheduler=_TWO_LEVEL, gating_policy=_NO_PG,
+        description="two-level scheduler, no power gating"), "paper"),
+    (TechniqueSpec(
+        "conv_pg", scheduler=_TWO_LEVEL, gating_policy=_CONV,
+        description="two-level scheduler + conventional power gating"),
+     "paper"),
+    (TechniqueSpec(
+        "gates", scheduler=_GATES_SCHED, gating_policy=_CONV,
+        description="GATES scheduler + conventional power gating"),
+     "paper"),
+    (TechniqueSpec(
+        "naive_blackout", scheduler=_GATES_SCHED, gating_policy=_NAIVE,
+        description="GATES + Naive Blackout"), "paper"),
+    (TechniqueSpec(
+        "coord_blackout", scheduler=_GATES_SCHED, gating_policy=_COORD,
+        description="GATES + Coordinated Blackout"), "paper"),
+    (TechniqueSpec(
+        "warped_gates", scheduler=_GATES_SCHED, gating_policy=_COORD,
+        adaptive=AdaptiveConfig(),
+        description="GATES + Coordinated Blackout + adaptive idle-detect "
+                    "(the full system)"), "paper"),
+    (TechniqueSpec(
+        "gates_no_pg", scheduler=_GATES_SCHED, gating_policy=_NO_PG,
+        description="GATES scheduling alone (performance isolation)"),
+     "ablation"),
+    (TechniqueSpec(
+        "blackout_no_gates", scheduler=_TWO_LEVEL, gating_policy=_NAIVE,
+        description="Naive Blackout under the baseline scheduler"),
+     "ablation"),
+    (TechniqueSpec(
+        "lrr_conv_pg", scheduler=SchedulerSpec("lrr"), gating_policy=_CONV,
+        description="conventional gating under single-level round-robin"),
+     "ablation"),
+    (TechniqueSpec(
+        "fetch_group_conv_pg", scheduler=SchedulerSpec("fetch_group"),
+        gating_policy=_CONV,
+        description="conventional gating under fetch-group scheduling"),
+     "ablation"),
+    (TechniqueSpec(
+        "ccws_conv_pg", scheduler=SchedulerSpec("ccws"), gating_policy=_CONV,
+        description="conventional gating under CCWS locality throttling"),
+     "ablation"),
+):
+    register_technique(_spec, group=_group, allow_replace=True)
+del _spec, _group
 
 
 @dataclass(frozen=True)
 class TechniqueConfig:
-    """All knobs of one experimental configuration."""
+    """All knobs of one experimental configuration (enum-flavoured).
+
+    The historical construction path: an enum member plus overrides.
+    :meth:`to_spec` lowers it onto the registered spec — new code can
+    build :class:`~repro.core.spec.TechniqueSpec` values directly.
+    """
 
     technique: Technique = Technique.WARPED_GATES
     gating: GatingParams = field(default_factory=GatingParams)
@@ -111,8 +177,29 @@ class TechniqueConfig:
         """Display name used in experiment records and reports."""
         return self.technique.value
 
+    def to_spec(self) -> TechniqueSpec:
+        """The registered spec with this config's overrides applied."""
+        from dataclasses import replace
 
-def build_sm(kernel, config: TechniqueConfig,
+        spec = technique_spec(self.technique.value)
+        scheduler = spec.scheduler
+        if (self.max_priority_cycles is not None
+                and "max_priority_cycles"
+                in scheduler_plugin(scheduler.name).params):
+            params = scheduler.param_dict()
+            params["max_priority_cycles"] = self.max_priority_cycles
+            scheduler = SchedulerSpec(scheduler.name, params)
+        return replace(
+            spec,
+            scheduler=scheduler,
+            gating=self.gating,
+            # Techniques without adaptation ignore the adaptive field,
+            # exactly as the pre-spec wiring did.
+            adaptive=self.adaptive if spec.adaptive is not None else None,
+            gate_sfu=self.gate_sfu)
+
+
+def build_sm(kernel, config,
              sm_config: Optional[SMConfig] = None,
              dram_latency: Optional[int] = None,
              kernel_gap_cycles: int = 0,
@@ -120,11 +207,14 @@ def build_sm(kernel, config: TechniqueConfig,
              fast_forward: bool = False) -> StreamingMultiprocessor:
     """Assemble an SM wired for one technique.
 
-    ``kernel`` is a :class:`KernelTrace` or a sequence of them (run
-    back to back with barriers and ``kernel_gap_cycles`` of idle gap).
-    The wiring mirrors Figure 7: the scheduler choice, the per-cluster
-    gating domains with their policies, and (for Warped Gates) the
-    per-type adaptive idle-detect hooks.
+    ``config`` is anything :func:`repro.core.spec.as_spec` resolves: a
+    :class:`TechniqueSpec`, a registered technique name, a
+    :class:`Technique` member or a :class:`TechniqueConfig`.  ``kernel``
+    is a :class:`KernelTrace` or a sequence of them (run back to back
+    with barriers and ``kernel_gap_cycles`` of idle gap).  The wiring
+    mirrors Figure 7: the scheduler plugin, the per-cluster gating
+    domains with their policy, and — when the spec enables adaptation —
+    the per-type adaptive idle-detect hooks.
 
     ``bus`` is an optional observability bus shared by the SM, its
     gating domains, the scheduler and the epoch hooks; omitted, the SM
@@ -136,81 +226,58 @@ def build_sm(kernel, config: TechniqueConfig,
     users (golden tests, examples) exercise the plain cycle loop; the
     parallel engine turns it on.
     """
-    sm_config = sm_config or SMConfig()
-    technique = config.technique
+    spec = as_spec(config)
+    sm_config = spec.apply_sm_overrides(sm_config or SMConfig())
 
     kernels = [kernel] if isinstance(kernel, KernelTrace) else list(kernel)
     n_slots = min([sm_config.max_resident_warps]
                   + [k.max_resident_warps for k in kernels])
-    if technique in _GATES_SCHEDULED:
-        scheduler = GatesScheduler(
-            n_slots=n_slots,
-            max_priority_cycles=config.max_priority_cycles,
-            blackout_aware=technique in _BLACKOUT_AWARE)
-    elif technique is Technique.LRR_CONV_PG:
-        scheduler = LooseRoundRobinScheduler(n_slots=n_slots)
-    elif technique is Technique.FETCH_GROUP_CONV_PG:
-        scheduler = FetchGroupScheduler(n_slots=n_slots)
-    elif technique is Technique.CCWS_CONV_PG:
-        scheduler = CCWSScheduler(n_slots=n_slots)
-    else:
-        scheduler = TwoLevelScheduler(n_slots=n_slots)
+    sched_plugin = scheduler_plugin(spec.scheduler.name)
+    scheduler = sched_plugin.build(n_slots, spec.scheduler,
+                                   blackout_aware=spec.blackout_aware)
 
     sm = StreamingMultiprocessor(kernel, sm_config, scheduler,
                                  dram_latency=dram_latency,
-                                 technique=technique.value,
+                                 technique=spec.name,
                                  kernel_gap_cycles=kernel_gap_cycles,
                                  bus=bus, fast_forward=fast_forward)
-    if isinstance(scheduler, CCWSScheduler):
-        # Wire the lost-locality feedback loop: the memory path feeds
-        # the monitor, a cycle hook decays its scores.
-        sm.memory.attach_locality_monitor(scheduler.monitor)
-        sm.add_hook(MonitorDecayHook(scheduler.monitor))
-    if technique not in _GATED:
+    if sched_plugin.attach is not None:
+        sched_plugin.attach(sm, scheduler)
+    if not spec.gated:
         return sm
 
-    _attach_cuda_core_domains(sm, config)
-    if config.gate_sfu:
-        sfu_domain = GatingDomain("SFU", config.gating, ConventionalPolicy())
+    _attach_cuda_core_domains(sm, spec)
+    if spec.gate_sfu:
+        sfu_domain = GatingDomain("SFU", spec.gating, ConventionalPolicy())
         sm.attach_domain("SFU", sfu_domain)
     return sm
 
 
 def _attach_cuda_core_domains(sm: StreamingMultiprocessor,
-                              config: TechniqueConfig) -> None:
-    technique = config.technique
+                              spec: TechniqueSpec) -> None:
+    plugin = gating_policy_plugin(spec.gating_policy.name)
     for cls in (OpClass.INT, OpClass.FP):
         pipes = sm.pipelines_of(UNIT_FOR_OP_CLASS[cls])
-        if technique in (Technique.COORD_BLACKOUT, Technique.WARPED_GATES):
-            policy: GatingPolicy = CoordinatedBlackoutPolicy(
-                actv_count=_actv_reader(sm, cls))
-        elif technique in (Technique.NAIVE_BLACKOUT,
-                           Technique.BLACKOUT_NO_GATES):
-            policy = NaiveBlackoutPolicy()
-        else:
-            policy = ConventionalPolicy()
+        # One policy instance per unit type, shared by the type's
+        # cluster domains (coordinated policies require it; stateless
+        # ones don't care).
+        policy = plugin.build(PolicyContext(sm=sm, op_class=cls),
+                              spec.gating_policy)
 
         domains: List[GatingDomain] = []
         for pipe in pipes:
-            domain = GatingDomain(pipe.name, config.gating, policy)
-            if isinstance(policy, CoordinatedBlackoutPolicy):
-                policy.register(domain)
+            domain = GatingDomain(pipe.name, spec.gating, policy)
+            if plugin.wire is not None:
+                plugin.wire(policy, domain)
             sm.attach_domain(pipe.name, domain)
             domains.append(domain)
 
-        if technique is Technique.WARPED_GATES:
-            sm.add_hook(AdaptiveIdleDetect(domains, config.adaptive,
+        if spec.adaptive is not None:
+            sm.add_hook(AdaptiveIdleDetect(domains, spec.adaptive,
                                            bus=sm.bus, label=cls.name))
 
 
-def _actv_reader(sm: StreamingMultiprocessor, cls: OpClass):
-    """Late-bound reader of the SM's per-type ACTV counter."""
-    def read() -> int:
-        return sm.actv_counts[cls]
-    return read
-
-
-def run_benchmark(name: str, config: TechniqueConfig,
+def run_benchmark(name: str, config,
                   sm_config: Optional[SMConfig] = None,
                   seed: int = 0, scale: float = 1.0,
                   bus: Optional["EventBus"] = None,

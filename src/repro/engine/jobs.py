@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.adaptive import AdaptiveConfig
-from repro.core.techniques import TechniqueConfig, build_sm
+from repro.core.spec import TechniqueSpec, as_spec
+from repro.core.techniques import build_sm
 from repro.engine.cache import CACHE_VERSION, RunCache
 from repro.engine.faults import JobReport, JobStatus
 from repro.isa.trace import KernelTrace
@@ -73,28 +74,45 @@ def load_or_build_kernel(benchmark: str, seed: int, scale: float,
 
 @dataclass(frozen=True)
 class SimJob:
-    """One (benchmark × technique-config) simulation, fully specified."""
+    """One (benchmark × technique) simulation, fully specified.
+
+    ``config`` is anything :func:`repro.core.spec.as_spec` resolves —
+    a :class:`~repro.core.spec.TechniqueSpec`, a registered technique
+    name, a :class:`~repro.core.techniques.Technique` member or a
+    legacy :class:`~repro.core.techniques.TechniqueConfig`.  It is kept
+    exactly as given (callers may inspect what they submitted); the
+    :attr:`spec` property is the resolved identity every derived key
+    and manifest uses.
+    """
 
     benchmark: str
-    config: TechniqueConfig
+    config: object
     sm_config: SMConfig = field(default_factory=SMConfig)
     seed: int = 0
     scale: float = 1.0
     fast_forward: bool = True
 
+    @property
+    def spec(self) -> TechniqueSpec:
+        """The resolved technique spec this job runs."""
+        return as_spec(self.config)
+
     def cache_key(self) -> str:
         """Result-cache key: human-readable prefix + full config hash.
 
+        Keyed on the spec's canonical hash, so an enum member, its name
+        string and an equal hand-built spec share cache entries.
         ``fast_forward`` is part of the key even though results are
         bit-identical by contract — a fast-forward bug then cannot
         poison serially-produced entries (or the other way round).
         """
+        spec = self.spec
         profile = get_profile(self.benchmark)
         digest = config_hash(
-            scaled_spec(profile.spec, self.scale), self.config,
+            scaled_spec(profile.spec, self.scale), spec.spec_hash(),
             self.sm_config, self.seed, self.scale, profile.dram_latency,
             self.fast_forward, CACHE_VERSION)
-        return (f"{self.benchmark}-{self.config.technique.value}"
+        return (f"{self.benchmark}-{spec.name}"
                 f"-s{self.seed}-{digest}")
 
 
@@ -126,17 +144,19 @@ def failure_manifest(job: SimJob, report: JobReport) -> RunManifest:
     a successful manifest carries — so a sweep's manifest list records
     exactly which cells failed, how often they were attempted, and why.
     """
+    spec = job.spec
     return RunManifest(
         benchmark=job.benchmark,
-        technique=job.config.technique.value,
+        technique=spec.name,
         seed=job.seed,
         scale=job.scale,
-        config_hash=config_hash(job.config, job.sm_config),
+        config_hash=config_hash(spec.spec_hash(), job.sm_config),
         cycles=0,
         instructions=0,
         status=report.status.value,
         error=report.error,
-        attempts=max(report.attempts, 0))
+        attempts=max(report.attempts, 0),
+        spec=spec.to_dict())
 
 
 def outcome_from_report(job: SimJob, report: JobReport) -> JobOutcome:
@@ -170,7 +190,8 @@ def execute_job(job: SimJob,
     """
     cache = RunCache(cache_dir, max_bytes=cache_max_bytes,
                      janitor=False) if cache_dir else None
-    settings_hash = config_hash(job.config, job.sm_config)
+    spec = job.spec
+    settings_hash = config_hash(spec.spec_hash(), job.sm_config)
     key = job.cache_key()
 
     if cache is not None:
@@ -179,7 +200,7 @@ def execute_job(job: SimJob,
         if result is not None:
             manifest = RunManifest(
                 benchmark=job.benchmark,
-                technique=job.config.technique.value,
+                technique=spec.name,
                 seed=job.seed,
                 scale=job.scale,
                 config_hash=settings_hash,
@@ -187,14 +208,15 @@ def execute_job(job: SimJob,
                 instructions=result.stats.instructions_retired,
                 wall_seconds={"cache_load": time.perf_counter() - t0},
                 worker=_worker_name(),
-                cache_hit=True)
+                cache_hit=True,
+                spec=spec.to_dict())
             return JobOutcome(result=result, manifest=manifest)
 
     t0 = time.perf_counter()
     kernel = load_or_build_kernel(job.benchmark, job.seed, job.scale,
                                   cache=cache)
     t1 = time.perf_counter()
-    sm = build_sm(kernel, job.config, sm_config=job.sm_config,
+    sm = build_sm(kernel, spec, sm_config=job.sm_config,
                   dram_latency=get_profile(job.benchmark).dram_latency,
                   fast_forward=job.fast_forward)
     result = sm.run()
@@ -203,7 +225,7 @@ def execute_job(job: SimJob,
         cache.put("results", key, result)
     manifest = RunManifest(
         benchmark=job.benchmark,
-        technique=job.config.technique.value,
+        technique=spec.name,
         seed=job.seed,
         scale=job.scale,
         config_hash=settings_hash,
@@ -211,7 +233,8 @@ def execute_job(job: SimJob,
         instructions=result.stats.instructions_retired,
         wall_seconds={"build_trace": t1 - t0, "simulate": t2 - t1},
         events_published=sm.bus.events_published,
-        worker=_worker_name())
+        worker=_worker_name(),
+        spec=spec.to_dict())
     return JobOutcome(result=result, manifest=manifest)
 
 
@@ -228,7 +251,7 @@ class SMPartJob:
     """
 
     part: KernelTrace
-    config: TechniqueConfig
+    config: object
     sm_config: SMConfig
     dram_latency: Optional[int] = None
     fast_forward: bool = True

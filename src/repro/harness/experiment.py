@@ -1,23 +1,26 @@
 """Memoising experiment runner and the figures' normalised metrics.
 
 Every paper figure compares *the same trace* replayed under different
-techniques, so the runner keys its cache on (benchmark, technique,
-parameter overrides) and reuses results across figure builders — a full
-figure set touches the same ~110 runs many times.
+techniques, so the runner keys its cache on (benchmark, resolved
+technique-spec hash, seed, scale) and reuses results across figure
+builders — a full figure set touches the same ~110 runs many times.
+Because the key is the :meth:`~repro.core.spec.TechniqueSpec.spec_hash`
+of the *resolved* spec, an enum member, its name string, and an equal
+hand-built spec all land on the same memo cell.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.adaptive import AdaptiveConfig
+from repro.core.spec import TechniqueSpec, as_spec
 from repro.core.techniques import (
     PAPER_TECHNIQUES,
     Technique,
-    TechniqueConfig,
     build_sm,
 )
 from repro.engine.faults import JobFailedError, last_error_line
@@ -105,54 +108,73 @@ class ExperimentRunner:
         #: Provenance records, one per uncached simulation, in run order.
         self.manifests: List[RunManifest] = []
 
-    def _key(self, benchmark: str, technique: Technique,
-             gating: GatingParams, adaptive: AdaptiveConfig) -> Tuple:
-        return (benchmark, technique, gating, adaptive,
+    def _resolve(self, technique,
+                 gating: Optional[GatingParams] = None,
+                 adaptive: Optional[AdaptiveConfig] = None) -> TechniqueSpec:
+        """Resolve a technique (enum / name / spec) plus overrides.
+
+        An explicit ``gating`` override always wins; otherwise enum and
+        name references inherit the campaign's ``settings.gating``,
+        while a hand-built spec keeps its own parameters.  An
+        ``adaptive`` override only applies to adaptive-capable specs —
+        the others ignore it, exactly as the pre-spec wiring did.
+        """
+        spec = as_spec(technique)
+        if gating is not None:
+            spec = replace(spec, gating=gating)
+        elif not isinstance(technique, TechniqueSpec):
+            spec = replace(spec, gating=self.settings.gating)
+        if adaptive is not None and spec.adaptive is not None:
+            spec = replace(spec, adaptive=adaptive)
+        return spec
+
+    def _key(self, benchmark: str, spec: TechniqueSpec) -> Tuple:
+        return (benchmark, spec.spec_hash(),
                 self.settings.seed, self.settings.scale)
 
-    def _job(self, benchmark: str, config: TechniqueConfig):
+    def _job(self, benchmark: str, spec: TechniqueSpec):
         from repro.engine.jobs import SimJob
-        return SimJob(benchmark=benchmark, config=config,
+        return SimJob(benchmark=benchmark, config=spec,
                       sm_config=self.settings.sm_config,
                       seed=self.settings.seed, scale=self.settings.scale,
                       fast_forward=self.engine.fast_forward)
 
-    def run(self, benchmark: str, technique: Technique,
+    def run(self, benchmark: str, technique,
             gating: Optional[GatingParams] = None,
             adaptive: Optional[AdaptiveConfig] = None) -> SimResult:
         """Run one configuration (memoised).
 
-        A cell whose engine job terminally failed (exception, timeout,
-        fail-fast cancellation — after any retries) raises
+        ``technique`` is anything :func:`repro.core.spec.as_spec`
+        resolves: a :class:`Technique` member, a registered name, or a
+        :class:`~repro.core.spec.TechniqueSpec`.  A cell whose engine
+        job terminally failed (exception, timeout, fail-fast
+        cancellation — after any retries) raises
         :class:`JobFailedError`; the failure is memoised too, so the
         cell is never silently re-simulated within this runner.
         """
-        gating = gating or self.settings.gating
-        adaptive = adaptive or AdaptiveConfig()
-        key = self._key(benchmark, technique, gating, adaptive)
+        spec = self._resolve(technique, gating, adaptive)
+        key = self._key(benchmark, spec)
         if key in self._failed:
-            self._raise_failure(benchmark, technique, self._failed[key])
+            self._raise_failure(benchmark, spec, self._failed[key])
         if key not in self._cache:
-            config = TechniqueConfig(technique=technique, gating=gating,
-                                     adaptive=adaptive)
             if self.engine is not None:
                 outcome = self.engine.run_sim_job(
-                    self._job(benchmark, config))
+                    self._job(benchmark, spec))
                 self.manifests.append(outcome.manifest)
                 if not outcome.ok:
                     self._failed[key] = outcome
-                    self._raise_failure(benchmark, technique, outcome)
+                    self._raise_failure(benchmark, spec, outcome)
                 self._cache[key] = outcome.result
             else:
-                self._cache[key] = self._run_uncached(benchmark, config)
+                self._cache[key] = self._run_uncached(benchmark, spec)
         return self._cache[key]
 
     @staticmethod
-    def _raise_failure(benchmark: str, technique: Technique,
+    def _raise_failure(benchmark: str, spec: TechniqueSpec,
                        outcome) -> None:
         reason = last_error_line(outcome.error) or outcome.status.value
         raise JobFailedError(
-            f"{benchmark}/{technique.value} {outcome.status.value} "
+            f"{benchmark}/{spec.name} {outcome.status.value} "
             f"after {outcome.attempts} attempt(s): {reason}",
             status=outcome.status, error=outcome.error)
 
@@ -180,17 +202,15 @@ class ExperimentRunner:
         seen = set()
         for request in requests:
             benchmark, technique = request[0], request[1]
-            gating = request[2] if len(request) > 2 and request[2] \
-                is not None else self.settings.gating
-            adaptive = request[3] if len(request) > 3 and request[3] \
-                is not None else AdaptiveConfig()
-            key = self._key(benchmark, technique, gating, adaptive)
+            gating = request[2] if len(request) > 2 else None
+            adaptive = request[3] if len(request) > 3 else None
+            spec = self._resolve(technique, gating, adaptive)
+            key = self._key(benchmark, spec)
             if key in self._cache or key in self._failed or key in seen:
                 continue
             seen.add(key)
             keys.append(key)
-            jobs.append(self._job(benchmark, TechniqueConfig(
-                technique=technique, gating=gating, adaptive=adaptive)))
+            jobs.append(self._job(benchmark, spec))
         if not jobs:
             return
         for key, outcome in zip(keys, self.engine.run_sim_jobs(jobs)):
@@ -203,41 +223,42 @@ class ExperimentRunner:
                 self._failed[key] = outcome
 
     def _run_uncached(self, benchmark: str,
-                      config: TechniqueConfig) -> SimResult:
+                      spec: TechniqueSpec) -> SimResult:
         """Simulate one configuration, recording its manifest."""
         settings = self.settings
         t0 = time.perf_counter()
         kernel = build_kernel(benchmark, seed=settings.seed,
                               scale=settings.scale)
         t1 = time.perf_counter()
-        sm = build_sm(kernel, config, sm_config=settings.sm_config,
+        sm = build_sm(kernel, spec, sm_config=settings.sm_config,
                       dram_latency=get_profile(benchmark).dram_latency,
                       bus=self.bus)
         result = sm.run()
         t2 = time.perf_counter()
         self.manifests.append(RunManifest(
             benchmark=benchmark,
-            technique=config.technique.value,
+            technique=spec.name,
             seed=settings.seed,
             scale=settings.scale,
-            config_hash=config_hash(config, settings.sm_config),
+            config_hash=config_hash(spec.spec_hash(), settings.sm_config),
             cycles=result.cycles,
             instructions=result.stats.instructions_retired,
             wall_seconds={"build_trace": t1 - t0, "simulate": t2 - t1},
-            events_published=sm.bus.events_published))
+            events_published=sm.bus.events_published,
+            spec=spec.to_dict()))
         return result
 
     def baseline(self, benchmark: str) -> SimResult:
         """The no-gating two-level reference run for one benchmark."""
         return self.run(benchmark, Technique.BASELINE)
 
-    def suite(self, techniques: Sequence[Technique] = PAPER_TECHNIQUES,
-              ) -> Dict[Tuple[str, Technique], SimResult]:
+    def suite(self, techniques: Sequence = PAPER_TECHNIQUES,
+              ) -> Dict[Tuple[str, object], SimResult]:
         """Run every benchmark under every requested technique."""
         self.prefetch([(name, technique)
                        for name in self.settings.benchmarks
                        for technique in techniques])
-        out: Dict[Tuple[str, Technique], SimResult] = {}
+        out: Dict[Tuple[str, object], SimResult] = {}
         for name in self.settings.benchmarks:
             for technique in techniques:
                 out[(name, technique)] = self.run(name, technique)
@@ -247,7 +268,7 @@ class ExperimentRunner:
     # derived metrics
     # ------------------------------------------------------------------
 
-    def static_savings(self, benchmark: str, technique: Technique,
+    def static_savings(self, benchmark: str, technique,
                        kind: ExecUnitKind,
                        gating: Optional[GatingParams] = None) -> float:
         """Figure 9 metric: net static energy saved vs no gating."""

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.spec import technique_label
 from repro.core.techniques import PAPER_TECHNIQUES, Technique
 from repro.engine.faults import JobFailedError
 from repro.harness.experiment import (
@@ -163,7 +164,7 @@ def replication_rows(results: Sequence[ReplicatedResult],
     rows: List[List[object]] = []
     for result in results:
         rows.append([
-            result.technique.value,
+            technique_label(result.technique),
             result.int_savings.mean, result.int_savings.stdev,
             result.fp_savings.mean, result.fp_savings.stdev,
             result.performance.mean, result.performance.stdev,

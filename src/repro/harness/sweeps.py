@@ -20,6 +20,7 @@ from repro.analysis.correlation import (
     critical_wakeups_per_kilocycle,
     pearson_r,
 )
+from repro.core.spec import technique_label
 from repro.core.techniques import Technique
 from repro.engine.faults import JobFailedError
 from repro.harness.experiment import (
@@ -207,7 +208,7 @@ def sweep_rows(points: Sequence[SweepPoint]) -> List[List[object]]:
     def cell(metric: float) -> Optional[float]:
         return None if math.isnan(metric) else metric
 
-    return [[p.value, p.technique.value, cell(p.int_savings),
+    return [[p.value, technique_label(p.technique), cell(p.int_savings),
              cell(p.fp_savings), cell(p.performance), p.benchmarks]
             for p in points]
 

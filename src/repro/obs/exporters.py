@@ -35,7 +35,6 @@ from repro.obs.events import (
     Event,
     GateOff,
     GateOn,
-    IssueStall,
     KernelBoundary,
     PriorityFlip,
     Wakeup,

@@ -61,6 +61,10 @@ class RunManifest:
     error: str = ""
     #: Execution attempts consumed (> 1 means the job was retried).
     attempts: int = 1
+    #: Serialized :class:`~repro.core.spec.TechniqueSpec` of the run
+    #: (``{}`` for legacy records) — the full declarative configuration,
+    #: so a manifest alone can rebuild and re-run its technique.
+    spec: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -93,6 +97,7 @@ class RunManifest:
             "status": self.status,
             "error": self.error,
             "attempts": self.attempts,
+            "spec": dict(self.spec),
         }
 
     @property

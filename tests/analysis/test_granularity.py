@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.granularity import (
-    GatingOpportunity,
     gating_opportunity,
     granularity_comparison,
 )

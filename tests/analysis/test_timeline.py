@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.timeline import TIMELINE_HEADERS, PowerTimeline
 from repro.core.techniques import Technique, TechniqueConfig, build_sm
-from repro.isa.optypes import ExecUnitKind
 from repro.workloads.registry import build_kernel
 from repro.workloads.specs import get_profile
 

@@ -115,5 +115,5 @@ class TestAdaptation:
     def test_initial_value_clamped_into_bounds(self):
         domain = GatingDomain("INT0", GatingParams(idle_detect=2),
                               NaiveBlackoutPolicy())
-        controller = AdaptiveIdleDetect([domain], CFG)
+        AdaptiveIdleDetect([domain], CFG)
         assert domain.idle_detect == 5

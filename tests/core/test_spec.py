@@ -1,0 +1,384 @@
+"""Tests for the declarative technique-spec layer.
+
+Covers the plugin registries (duplicate/unknown names, difflib
+suggestions), the derived capability flags that replaced the hidden
+membership sets, JSON round-trip losslessness (property-tested), the
+cross-process stability of ``spec_hash()`` that keys the persistent
+cache, and the validation guards of the spec schema and the structural
+config dataclasses.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptive import AdaptiveConfig
+from repro.core.spec import (
+    GATING_POLICIES,
+    GatingPolicySpec,
+    SCHEDULERS,
+    SchedulerSpec,
+    TECHNIQUES,
+    TechniqueSpec,
+    as_spec,
+    closest_name,
+    register_gating_policy,
+    register_scheduler,
+    register_technique,
+    technique_label,
+    technique_names,
+    technique_spec,
+    techniques_by_group,
+    validate_names,
+)
+from repro.core.techniques import Technique, TechniqueConfig
+from repro.power.params import GatingParams
+from repro.sim.config import MemoryConfig, SMConfig
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def scratch_registry():
+    """Track registry additions made by a test and remove them after."""
+    before = (set(SCHEDULERS), set(GATING_POLICIES), set(TECHNIQUES))
+    yield
+    for registry, names in zip((SCHEDULERS, GATING_POLICIES, TECHNIQUES),
+                               before):
+        for name in set(registry) - names:
+            del registry[name]
+
+
+# ----------------------------------------------------------------------
+# registries
+# ----------------------------------------------------------------------
+
+class TestRegistries:
+    def test_builtin_schedulers_registered(self):
+        assert {"two_level", "lrr", "fetch_group", "ccws",
+                "gates"} <= set(SCHEDULERS)
+
+    def test_builtin_policies_registered(self):
+        assert {"none", "conventional", "naive_blackout",
+                "coordinated_blackout"} <= set(GATING_POLICIES)
+
+    def test_duplicate_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheduler("two_level")(lambda n_slots: None)
+
+    def test_duplicate_policy_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_gating_policy("conventional")(lambda context: None)
+
+    def test_duplicate_technique_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_technique(TechniqueSpec("baseline"))
+
+    def test_unknown_technique_suggests_closest(self):
+        with pytest.raises(ValueError) as err:
+            technique_spec("warped_gate")
+        assert "unknown technique 'warped_gate'" in str(err.value)
+        assert "'warped_gates'" in str(err.value)
+
+    def test_unknown_scheduler_suggests_closest(self):
+        with pytest.raises(ValueError, match="'two_level'"):
+            TechniqueSpec("x", scheduler=SchedulerSpec("two_lvl")).validate()
+
+    def test_groups_cover_paper_and_ablations(self):
+        grouped = techniques_by_group()
+        assert [s.name for s in grouped["paper"]] == [
+            "baseline", "conv_pg", "gates", "naive_blackout",
+            "coord_blackout", "warped_gates"]
+        assert "lrr_conv_pg" in {s.name for s in grouped["ablation"]}
+
+    def test_every_registered_technique_has_a_description(self):
+        for name in technique_names():
+            assert technique_spec(name).description, name
+
+    def test_bad_group_rejected(self, scratch_registry):
+        with pytest.raises(ValueError, match="group"):
+            register_technique(TechniqueSpec("x"), group="nonsense")
+
+    def test_user_registration_runs_by_name(self, scratch_registry):
+        spec = register_technique(
+            TechniqueSpec("my_combo", scheduler=SchedulerSpec("lrr"),
+                          gating_policy=GatingPolicySpec("naive_blackout")))
+        assert technique_spec("my_combo") is spec
+        assert "my_combo" in technique_names("user")
+
+    def test_enum_members_alias_registered_specs(self):
+        for member in Technique:
+            assert member.spec.name == member.value
+
+
+class TestNameValidation:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="duplicate benchmark 'a'"):
+            validate_names(["a", "b", "a"], ["a", "b"], "benchmark")
+
+    def test_unknown_name_suggested(self):
+        with pytest.raises(ValueError) as err:
+            validate_names(["hotspto"], ["hotspot", "bfs"], "benchmark")
+        assert "'hotspot'" in str(err.value)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            validate_names([], ["a"], "benchmark")
+
+    def test_closest_name_none_when_nothing_close(self):
+        assert closest_name("zzzzzz", ["hotspot", "bfs"]) is None
+
+
+# ----------------------------------------------------------------------
+# derived capability flags (the old hidden membership sets)
+# ----------------------------------------------------------------------
+
+class TestCapabilityFlags:
+    def test_ungated_specs(self):
+        for name in ("baseline", "gates_no_pg"):
+            spec = technique_spec(name)
+            assert not spec.gated
+            assert not spec.blackout_aware
+
+    def test_warped_gates_full_system(self):
+        spec = technique_spec("warped_gates")
+        assert spec.gated
+        assert spec.blackout_aware
+        assert spec.adaptive_enabled
+
+    def test_naive_blackout_is_not_coordinated(self):
+        spec = technique_spec("naive_blackout")
+        assert spec.gated
+        assert not spec.blackout_aware
+
+    def test_coordination_needs_scheduler_support(self):
+        # CCWS does not track blacked-out units even under a
+        # coordinated policy — coordination is a property of the pair.
+        spec = TechniqueSpec(
+            "ccws_coord", scheduler=SchedulerSpec("ccws"),
+            gating_policy=GatingPolicySpec("coordinated_blackout"))
+        assert spec.gated
+        assert not spec.blackout_aware
+
+
+# ----------------------------------------------------------------------
+# round-trip + hash stability
+# ----------------------------------------------------------------------
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", technique_names())
+    def test_registered_specs_round_trip(self, name):
+        spec = technique_spec(name)
+        clone = TechniqueSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_description_not_part_of_identity(self):
+        spec = technique_spec("warped_gates")
+        relabelled = TechniqueSpec.from_dict(
+            {**spec.to_dict(), "description": "different words"})
+        assert relabelled.spec_hash() == spec.spec_hash()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        scheduler=st.sampled_from(["two_level", "lrr", "gates"]),
+        policy=st.sampled_from(["none", "conventional", "naive_blackout",
+                                "coordinated_blackout"]),
+        idle_detect=st.integers(min_value=0, max_value=10),
+        bet=st.integers(min_value=1, max_value=24),
+        wakeup=st.integers(min_value=0, max_value=9),
+        adaptive=st.booleans(),
+        gate_sfu=st.booleans(),
+        mshr=st.integers(min_value=1, max_value=64),
+    )
+    def test_property_every_spec_round_trips(self, scheduler, policy,
+                                             idle_detect, bet, wakeup,
+                                             adaptive, gate_sfu, mshr):
+        spec = TechniqueSpec(
+            "prop_case",
+            scheduler=SchedulerSpec(scheduler),
+            gating_policy=GatingPolicySpec(policy),
+            gating=GatingParams(idle_detect=idle_detect, bet=bet,
+                                wakeup_delay=wakeup),
+            adaptive=AdaptiveConfig() if adaptive else None,
+            gate_sfu=gate_sfu,
+            sm_overrides={"memory": {"mshr_entries": mshr}},
+        ).validate()
+        clone = TechniqueSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+        assert clone.to_dict() == spec.to_dict()
+
+    def test_sm_override_key_order_does_not_change_hash(self):
+        a = TechniqueSpec("x", sm_overrides={"issue_width": 1,
+                                             "fetch_width": 2})
+        b = TechniqueSpec("x", sm_overrides={"fetch_width": 2,
+                                             "issue_width": 1})
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_spec_hash_stable_across_process_restart(self):
+        """The hash keys .repro-cache/ — it must survive a fresh
+        interpreter (no dict-order or enum-identity dependence)."""
+        names = ("baseline", "warped_gates", "ccws_conv_pg")
+        script = (
+            "from repro.core.spec import technique_spec\n"
+            "import repro.core.techniques\n"
+            "print(','.join(technique_spec(n).spec_hash() "
+            f"for n in {names!r}))\n")
+        fresh = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True,
+            env={"PYTHONPATH": REPO_SRC, "PYTHONHASHSEED": "random"})
+        assert fresh.stdout.strip() == ",".join(
+            technique_spec(n).spec_hash() for n in names)
+
+
+# ----------------------------------------------------------------------
+# schema + config validation errors
+# ----------------------------------------------------------------------
+
+class TestSpecValidationErrors:
+    def test_bad_scheduler_name(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            TechniqueSpec.from_dict({"name": "x", "scheduler": "gatez"})
+
+    def test_bad_policy_name(self):
+        with pytest.raises(ValueError, match="unknown gating policy"):
+            TechniqueSpec.from_dict({"name": "x",
+                                     "gating_policy": "blakout"})
+
+    def test_unknown_scheduler_param(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            TechniqueSpec.from_dict({
+                "name": "x",
+                "scheduler": {"name": "two_level",
+                              "params": {"group_size": 4}}})
+
+    def test_negative_bet(self):
+        with pytest.raises(ValueError, match="bet must be >= 1"):
+            TechniqueSpec.from_dict({"name": "x",
+                                     "gating": {"bet": -1}})
+
+    def test_out_of_range_idle_detect_bounds(self):
+        with pytest.raises(ValueError,
+                           match="min_idle_detect <= max_idle_detect"):
+            TechniqueSpec.from_dict({
+                "name": "x",
+                "adaptive": {"min_idle_detect": 9, "max_idle_detect": 2}})
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ValueError, match="unknown spec key"):
+            TechniqueSpec.from_dict({"name": "x", "sched": "gates"})
+
+    def test_missing_name(self):
+        with pytest.raises(ValueError, match="missing its 'name'"):
+            TechniqueSpec.from_dict({"scheduler": "gates"})
+
+    def test_non_object_document(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            TechniqueSpec.from_dict(["not", "a", "spec"])
+
+    def test_bad_name_charset(self):
+        with pytest.raises(ValueError, match="may only contain"):
+            TechniqueSpec("no spaces allowed")
+
+    def test_unknown_sm_override_field(self):
+        with pytest.raises(ValueError, match="unknown SMConfig field"):
+            TechniqueSpec.from_dict({
+                "name": "x", "sm_overrides": {"warp_count": 64}})
+
+    def test_unknown_memory_override_field(self):
+        with pytest.raises(ValueError, match="unknown MemoryConfig"):
+            TechniqueSpec.from_dict({
+                "name": "x",
+                "sm_overrides": {"memory": {"l1_size_kb": 64}}})
+
+    def test_bad_sm_override_value_fires_config_guard(self):
+        with pytest.raises(ValueError, match="issue_width"):
+            TechniqueSpec.from_dict({
+                "name": "x", "sm_overrides": {"issue_width": 0}})
+
+    def test_sm_overrides_applied_on_top_of_run_config(self):
+        spec = TechniqueSpec(
+            "x", sm_overrides={"n_sp_clusters": 4,
+                               "memory": {"mshr_entries": 8}})
+        merged = spec.apply_sm_overrides(SMConfig(issue_width=1))
+        assert merged.n_sp_clusters == 4
+        assert merged.issue_width == 1
+        assert merged.memory.mshr_entries == 8
+        assert merged.memory.l1_ways == MemoryConfig().l1_ways
+
+
+class TestSMConfigGuards:
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"n_sp_clusters": 0}, "SP cluster"),
+        ({"issue_width": 0}, "issue_width"),
+        ({"fetch_width": 0}, "fetch_width"),
+        ({"ibuffer_entries": 0}, "ibuffer_entries"),
+        ({"max_resident_warps": 0}, "max_resident_warps"),
+        ({"int_initiation_interval": 0}, "int_initiation_interval"),
+        ({"sfu_initiation_interval": 0}, "sfu_initiation_interval"),
+        ({"rf_banks": -1}, "rf_banks"),
+        ({"rf_ports_per_bank": 0}, "rf_ports_per_bank"),
+        ({"max_cycles": 0}, "max_cycles"),
+    ])
+    def test_post_init_guards(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            SMConfig(**kwargs)
+
+
+class TestMemoryConfigGuards:
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"l1_sets": 0}, "power of two"),
+        ({"l1_sets": 48}, "power of two"),
+        ({"l1_ways": 0}, "l1_ways"),
+        ({"mshr_entries": 0}, "mshr_entries"),
+        ({"dram_jitter": 1.5}, "dram_jitter"),
+        ({"dram_jitter": -0.1}, "dram_jitter"),
+    ])
+    def test_post_init_guards(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            MemoryConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# resolution helpers
+# ----------------------------------------------------------------------
+
+class TestAsSpec:
+    def test_accepts_every_technique_shape(self):
+        expected = technique_spec("warped_gates")
+        assert as_spec(expected) is expected
+        assert as_spec("warped_gates") == expected
+        assert as_spec(Technique.WARPED_GATES) == expected
+
+    def test_technique_config_lowers_via_to_spec(self):
+        config = TechniqueConfig(Technique.WARPED_GATES)
+        assert as_spec(config).spec_hash() == \
+            technique_spec("warped_gates").spec_hash()
+
+    def test_config_overrides_reach_the_spec(self):
+        config = TechniqueConfig(Technique.GATES,
+                                 gating=GatingParams(bet=19),
+                                 max_priority_cycles=512)
+        spec = as_spec(config)
+        assert spec.gating.bet == 19
+        assert spec.scheduler.param_dict() == {"max_priority_cycles": 512}
+        assert spec.spec_hash() != technique_spec("gates").spec_hash()
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError, match="cannot resolve"):
+            as_spec(42)
+
+    def test_labels(self):
+        assert technique_label(Technique.WARPED_GATES) == "warped_gates"
+        assert technique_label("warped_gates") == "warped_gates"
+        assert technique_label(technique_spec("gates")) == "gates"

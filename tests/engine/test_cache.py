@@ -3,7 +3,6 @@
 import os
 import pickle
 
-import pytest
 
 from repro.core.techniques import Technique, TechniqueConfig
 from repro.engine.cache import RunCache

@@ -39,7 +39,7 @@ class TestPoolDeterminism:
             parallel = pooled.run_sim_jobs(jobs)
         assert len(serial) == len(parallel) == len(jobs)
         for job, a, b in zip(jobs, serial, parallel):
-            label = (job.benchmark, job.config.technique.value)
+            label = (job.benchmark, job.spec.name)
             assert b.result.cycles == a.result.cycles, label
             assert b.result.metrics == a.result.metrics, label
             assert _energy(b.result) == _energy(a.result), label

@@ -24,9 +24,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "hotspot", "nope"])
 
+    def test_unknown_technique_suggests_closest(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "hotspot", "warped_gate"])
+        err = capsys.readouterr().err
+        assert "unknown technique 'warped_gate'" in err
+        assert "warped_gates" in err
+
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
             main(["--benchmarks", "hotspto", "characterize"])
+
+    def test_unknown_benchmark_suggests_closest(self):
+        with pytest.raises(SystemExit) as err:
+            main(["--benchmarks", "hotspto", "characterize"])
+        assert "unknown benchmark 'hotspto'" in str(err.value)
+        assert "hotspot" in str(err.value)
+
+    def test_duplicate_benchmark_rejected(self):
+        with pytest.raises(SystemExit) as err:
+            main(["--benchmarks", "hotspot,hotspot", "characterize"])
+        assert "duplicate benchmark 'hotspot'" in str(err.value)
+
+    def test_run_needs_technique_or_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "hotspot"])
+        with pytest.raises(SystemExit):
+            main(["run", "hotspot", "baseline", "--spec", "x.json"])
 
     def test_figure_choices_cover_registry(self):
         args = build_parser().parse_args(["figure", "fig10"])
@@ -44,6 +68,15 @@ class TestCommands:
         assert "hotspot" in out
         assert "warped_gates" in out
         assert "fig9a" in out
+
+    def test_list_groups_and_describes_techniques(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper techniques:" in out
+        assert "ablations:" in out
+        # Each technique line carries its registered one-liner.
+        assert "adaptive idle-detect" in out
+        assert out.index("warped_gates") < out.index("gates_no_pg")
 
     def test_run(self, capsys):
         code = main(["--scale", "0.2", "--benchmarks", "hotspot",
@@ -222,3 +255,112 @@ class TestFaultFlags:
         assert "bfs" in err and "conv_pg" in err
         assert "InjectedCrash: boom" in err
         assert "1 job(s) failed" in err
+
+
+#: A composition no enum member ever named: CCWS locality throttling
+#: crossed with Coordinated Blackout and adaptive idle-detect.
+CUSTOM_SPEC = {
+    "name": "ccws_coord_blackout_adaptive",
+    "description": "CCWS x Coordinated Blackout x adaptive idle-detect",
+    "scheduler": {"name": "ccws",
+                  "params": {"score_per_excluded_warp": 64.0}},
+    "gating_policy": {"name": "coordinated_blackout",
+                      "params": {"max_domains": 8}},
+    "gating": {"idle_detect": 5, "bet": 14, "wakeup_delay": 3},
+    "adaptive": {"min_idle_detect": 5, "max_idle_detect": 10,
+                 "epoch_cycles": 1000, "threshold": 5,
+                 "decay_epochs": 4},
+}
+
+
+class TestSpecCommands:
+    def test_spec_show_round_trips(self, capsys):
+        assert main(["spec", "show", "warped_gates"]) == 0
+        from repro.core.spec import TechniqueSpec, technique_spec
+        document = json.loads(capsys.readouterr().out)
+        spec = TechniqueSpec.from_dict(document)
+        assert spec == technique_spec("warped_gates")
+
+    def test_spec_validate_accepts_good_file(self, capsys, tmp_path):
+        path = tmp_path / "good.json"
+        path.write_text(json.dumps(CUSTOM_SPEC))
+        assert main(["spec", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and CUSTOM_SPEC["name"] in out
+
+    @pytest.mark.parametrize("document,fragment", [
+        ({**CUSTOM_SPEC, "scheduler": "gatez"}, "unknown scheduler"),
+        ({**CUSTOM_SPEC, "gating": {"bet": -1}}, "bet must be"),
+        ({**CUSTOM_SPEC, "extra_key": 1}, "unknown spec key"),
+    ])
+    def test_spec_validate_rejects_bad_file(self, capsys, tmp_path,
+                                            document, fragment):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(SystemExit) as err:
+            main(["spec", "validate", str(path)])
+        assert fragment in str(err.value)
+
+    def test_spec_validate_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["spec", "validate", str(path)])
+
+
+class TestSpecFileIntegration:
+    """The never-enum-named composition, end to end.
+
+    CLI --spec file → engine (persistent cache) → manifests: the full
+    acceptance path for arbitrary scheduler × gating × adaptive
+    compositions.
+    """
+
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "custom.json"
+        path.write_text(json.dumps(CUSTOM_SPEC))
+        return path
+
+    def test_spec_file_runs_and_hits_cache_on_rerun(self, capsys,
+                                                    tmp_path):
+        args = ["--scale", "0.2", "--benchmarks", "hotspot",
+                "run", "hotspot", "--spec",
+                str(self._write_spec(tmp_path)), "--profile"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert f"hotspot / {CUSTOM_SPEC['name']}" in first
+        custom_rows = [line for line in first.splitlines()
+                       if line.startswith(f"hotspot    "
+                                          f"{CUSTOM_SPEC['name']}")]
+        assert custom_rows and "miss" in custom_rows[0]
+        # The cache entry is keyed by the custom spec's name + hash.
+        results = tmp_path / ".repro-cache" / "results"
+        assert any(CUSTOM_SPEC["name"] in p.name
+                   for p in results.iterdir())
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        custom_rows = [line for line in second.splitlines()
+                       if line.startswith(f"hotspot    "
+                                          f"{CUSTOM_SPEC['name']}")]
+        assert custom_rows and "hit" in custom_rows[0]
+        # Identical headline metrics either way.
+        cut = first.index("Run manifests")
+        assert second[:cut] == first[:cut]
+
+    def test_manifest_embeds_the_full_spec(self):
+        from repro.core.spec import TechniqueSpec
+        from repro.harness.experiment import (ExperimentRunner,
+                                              ExperimentSettings)
+
+        spec = TechniqueSpec.from_dict(CUSTOM_SPEC)
+        runner = ExperimentRunner(ExperimentSettings(
+            scale=0.15, benchmarks=("hotspot",)))
+        runner.run("hotspot", spec)
+        manifest = runner.manifests[-1]
+        assert manifest.technique == spec.name
+        # The embedded document is lossless: it rebuilds the identical
+        # spec, so any manifest can be re-run byte-for-byte.
+        rebuilt = TechniqueSpec.from_dict(manifest.spec)
+        assert rebuilt.spec_hash() == spec.spec_hash()
+        assert manifest.to_dict()["spec"] == spec.to_dict()

@@ -6,7 +6,6 @@ from repro.core.techniques import Technique
 from repro.harness.experiment import ExperimentSettings
 from repro.harness.replication import (
     REPLICATION_HEADERS,
-    MetricEstimate,
     _estimate,
     replicate,
     replication_rows,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.techniques import Technique, TechniqueConfig, build_sm
 from repro.isa.optypes import ExecUnitKind
-from repro.isa.tracegen import generate_kernel
 from repro.workloads.registry import build_kernel
 from repro.workloads.specs import get_profile
 
@@ -32,7 +31,6 @@ class TestUniversalInvariants:
     def test_domain_cycle_accounting_closes(self, technique):
         _, result = run(technique)
         for name, stats in result.domain_stats.items():
-            waking_in_flight = 0
             total = stats.on_cycles + stats.waking_cycles + \
                 stats.gated_cycles
             # A wakeup in progress at end-of-run leaves up to

@@ -6,7 +6,6 @@ instruction, in that order."  These tests drive crafted kernels through
 the real SM under GATES and check who actually issues each cycle.
 """
 
-import pytest
 
 from repro.core.gates import GatesScheduler
 from repro.core.techniques import Technique, TechniqueConfig, build_sm

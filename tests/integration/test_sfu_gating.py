@@ -7,7 +7,6 @@ are 2.5% of execution-unit static power).  The `gate_sfu` flag enables
 exactly that; these tests check it behaves as the paper expects.
 """
 
-import pytest
 
 from repro.core.techniques import Technique, TechniqueConfig, run_benchmark
 from repro.isa.optypes import ExecUnitKind

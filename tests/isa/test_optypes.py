@@ -1,6 +1,5 @@
 """Tests for operation classes and unit-kind mapping."""
 
-import pytest
 
 from repro.isa.optypes import (
     ALL_OP_CLASSES,

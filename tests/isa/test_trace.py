@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa.instructions import fp_op, int_op, load_op
+from repro.isa.instructions import fp_op, int_op
 from repro.isa.optypes import OpClass
 from repro.isa.trace import KernelTrace, WarpTrace, concatenate_kernels
 

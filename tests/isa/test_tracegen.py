@@ -3,12 +3,7 @@
 import pytest
 
 from repro.isa.optypes import OpClass
-from repro.isa.tracegen import (
-    REGS_PER_WARP,
-    TraceGenerator,
-    TraceSpec,
-    generate_kernel,
-)
+from repro.isa.tracegen import REGS_PER_WARP, TraceSpec, generate_kernel
 
 
 def spec(**overrides) -> TraceSpec:

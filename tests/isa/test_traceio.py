@@ -12,8 +12,6 @@ from repro.isa.instructions import (
     sfu_op,
     store_op,
 )
-from repro.isa.optypes import OpClass
-from repro.isa.trace import KernelTrace, WarpTrace
 from repro.isa.traceio import (
     FORMAT_VERSION,
     instruction_from_dict,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.power.energy import (
     DomainEnergy,
-    EnergyBreakdown,
     chip_level_savings,
     combine_savings,
     domain_energy,

@@ -1,6 +1,5 @@
 """Edge-case tests for the gating state machine."""
 
-import pytest
 
 from repro.core.blackout import NaiveBlackoutPolicy
 from repro.power.gating import (

@@ -57,8 +57,6 @@ def test_int_and_fp_always_at_opposite_ends(raw):
     if OpClass.INT in classes and OpClass.FP in classes:
         # Whichever CUDA-core type appears first, every one of its
         # instructions precedes every instruction of the other type.
-        first = classes[0] if classes[0] in (OpClass.INT, OpClass.FP) \
-            else None
         int_positions = [i for i, c in enumerate(classes)
                          if c is OpClass.INT]
         fp_positions = [i for i, c in enumerate(classes)

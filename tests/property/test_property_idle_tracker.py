@@ -1,6 +1,6 @@
 """Property tests: idle-period tracking and region analysis."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.analysis.idle_periods import (
     histogram_series,

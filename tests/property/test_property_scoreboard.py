@@ -1,6 +1,6 @@
 """Property tests: scoreboard dependence tracking."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.isa.instructions import int_op, load_op
 from repro.sim.scoreboard import Scoreboard

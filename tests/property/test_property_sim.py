@@ -5,10 +5,10 @@ and checks the conservation laws the simulator must satisfy regardless
 of scheduling or gating policy.
 """
 
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.techniques import Technique, TechniqueConfig, build_sm
-from repro.isa.optypes import ALL_OP_CLASSES, ExecUnitKind, OpClass
+from repro.isa.optypes import ALL_OP_CLASSES
 from repro.isa.tracegen import TraceSpec, generate_kernel
 from repro.sim.config import MemoryConfig, SMConfig
 

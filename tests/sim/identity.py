@@ -138,7 +138,16 @@ def run_instrumented_golden(benchmark: str = "hotspot",
 
 
 def compute_goldens() -> dict:
-    """Digest every golden cell plus the instrumented event stream."""
+    """Digest every golden cell plus the instrumented event stream.
+
+    ``spec/<technique>`` entries pin each golden technique's canonical
+    :meth:`~repro.core.spec.TechniqueSpec.spec_hash` — the identity
+    that keys the persistent run cache and the memoising runner — so a
+    serialization or registration drift fails alongside any simulated
+    drift it would cause.
+    """
+    from repro.core.spec import technique_spec
+
     digests = {}
     for benchmark in GOLDEN_BENCHMARKS:
         for technique in GOLDEN_TECHNIQUES:
@@ -147,6 +156,8 @@ def compute_goldens() -> dict:
     result, events = run_instrumented_golden()
     digests["events/hotspot/warped_gates"] = event_stream_digest(events)
     digests["events/hotspot/warped_gates/result"] = result_digest(result)
+    for technique in GOLDEN_TECHNIQUES:
+        digests[f"spec/{technique}"] = technique_spec(technique).spec_hash()
     return digests
 
 

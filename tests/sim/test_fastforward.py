@@ -84,9 +84,7 @@ def test_max_cycles_overrun_raises_identically():
 
     from repro.sim.config import SMConfig
 
-    kernel = build_kernel("hotspot", seed=0, scale=SCALE)
-    config = SMConfig()
-    config = replace(config, max_cycles=50)
+    config = replace(SMConfig(), max_cycles=50)
     errors = []
     for fast_forward in (False, True):
         sm = build_sm(build_kernel("hotspot", seed=0, scale=SCALE),

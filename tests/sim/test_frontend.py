@@ -32,7 +32,7 @@ class TestWarpContext:
         assert ctx.occupied and not ctx.finished()
         ctx.ibuffer.append(ctx.trace[0])
         ctx.fetch_pc = 1
-        inst = ctx.pop_head()
+        ctx.pop_head()
         ctx.outstanding += 1
         assert not ctx.finished()  # still one in flight
         ctx.outstanding -= 1

@@ -60,3 +60,19 @@ def test_instrumented_result_equals_serial():
     assert digest == GOLDENS["hotspot/warped_gates"], (
         "bus-enabled and bus-disabled runs diverged — instrumentation "
         "is no longer zero-impact on simulation state")
+
+
+@pytest.mark.parametrize("technique", GOLDEN_TECHNIQUES)
+def test_spec_hash_matches_golden(technique):
+    """Each golden technique's spec_hash reproduces its committed value.
+
+    The spec hash keys the persistent run cache and the memoising
+    runner, so a drift here silently orphans (or worse, mismatches)
+    cached results even when the simulation itself is unchanged.
+    """
+    from repro.core.spec import technique_spec
+
+    assert (technique_spec(technique).spec_hash()
+            == GOLDENS[f"spec/{technique}"]), (
+        f"{technique}'s canonical spec serialization drifted — cache "
+        "keys and manifests no longer match prior sessions")

@@ -6,7 +6,7 @@ from repro.core.techniques import Technique, TechniqueConfig, build_sm
 from repro.isa.instructions import int_op
 from repro.isa.trace import KernelTrace, WarpTrace
 from repro.sim.config import MemoryConfig, SMConfig
-from repro.sim.frontend import MultiKernelLauncher, WarpContext
+from repro.sim.frontend import MultiKernelLauncher
 from repro.sim.sm import StreamingMultiprocessor
 
 CONFIG = SMConfig(max_resident_warps=4,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.isa.instructions import fp_op, int_op, load_op
-from repro.sim.scoreboard import Scoreboard, UNRESOLVED
+from repro.sim.scoreboard import Scoreboard
 
 
 class TestReadyBit:

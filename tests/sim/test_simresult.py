@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.techniques import Technique, TechniqueConfig, build_sm
 from repro.isa.optypes import ExecUnitKind
-from repro.power.gating import GatingStats
 from repro.sim.memory import MemoryStats
 from repro.sim.sm import SimResult
 from repro.sim.stats import SMStats

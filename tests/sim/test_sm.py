@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.techniques import Technique, TechniqueConfig, build_sm
 from repro.isa.instructions import fp_op, int_op, load_op, sfu_op, store_op
 from repro.isa.optypes import ExecUnitKind, OpClass
 from repro.isa.trace import KernelTrace, WarpTrace
@@ -10,7 +9,7 @@ from repro.sim.config import MemoryConfig, SMConfig
 from repro.sim.sched.two_level import TwoLevelScheduler
 from repro.sim.sm import StreamingMultiprocessor
 
-from tests.conftest import SMALL_SM, run_tiny
+from tests.conftest import SMALL_SM
 
 
 def make_sm(kernel: KernelTrace, config: SMConfig = SMALL_SM,

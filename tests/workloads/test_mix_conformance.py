@@ -41,4 +41,4 @@ def test_divergence_masks_legal(name):
     assert all(1 <= l <= 32 for l in lanes)
     profile = get_profile(name)
     if profile.spec.branch_prob == 0.0:
-        assert all(l == 32 for l in lanes)
+        assert all(n == 32 for n in lanes)
