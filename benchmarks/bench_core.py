@@ -13,12 +13,14 @@ fast-forward and no cache.  Three rows:
   event bus off vs on, isolating observability overhead from workload
   construction.
 
-Rates are appended to ``BENCH_core.json`` at the repo root.  The gates
-are CI's single-run throughput regression net (warn-don't-die: the
-workflow step tolerates a failure and surfaces a ``::warning``).  On a
-gate failure a cProfile summary of the warped-gates loop is written to
-``bench_core_profile.txt`` so the regression's hot spots travel with
-the CI artifact.
+Rates land in ``BENCH_core.json`` at the repo root (latest snapshot)
+and are appended to ``BENCH_history.jsonl`` (full trajectory with git
+sha — see :mod:`history`); each gate also compares against the last
+recorded history entry.  The gates are CI's single-run throughput
+regression net (warn-don't-die: the workflow step tolerates a failure
+and surfaces a ``::warning``).  On a gate failure a cProfile summary of
+the warped-gates loop is written to ``bench_core_profile.txt`` so the
+regression's hot spots travel with the CI artifact.
 """
 
 import cProfile
@@ -34,6 +36,7 @@ from repro.obs.bus import EventBus
 from repro.workloads.registry import build_kernel
 from repro.workloads.specs import get_profile
 
+import history
 from conftest import print_figure
 
 SCALE = 0.5
@@ -105,7 +108,12 @@ def _loop_rate(instrumented: bool, rounds: int = 7) -> float:
     return best
 
 
-def _record(name: str, row: dict) -> None:
+def _record(name: str, row: dict):
+    """Snapshot into BENCH_core.json and append to the history file.
+
+    Returns the *previous* history entry for this row (None on first
+    run) so callers can gate against the last recorded measurement.
+    """
     document = {}
     if RESULTS_PATH.exists():
         try:
@@ -115,6 +123,11 @@ def _record(name: str, row: dict) -> None:
     document[name] = row
     RESULTS_PATH.write_text(json.dumps(document, indent=2, sort_keys=True),
                             encoding="utf-8")
+    rates = {key: value for key, value in row.items()
+             if key.endswith("_per_sec") and not key.startswith("pre_pr")}
+    config = {key: value for key, value in row.items()
+              if key not in rates}
+    return history.record_rates("core", name, rates=rates, config=config)
 
 
 def _write_profile() -> None:
@@ -151,7 +164,7 @@ def _serial_row(benchmark, technique: Technique, key: str) -> None:
                  f"{cycles} cycles at {rate:,.0f} cycles/s "
                  f"({speedup:.2f}x vs pre-PR "
                  f"{PRE_PR_CYCLES_PER_SEC[key]:,.0f})")
-    _record(f"serial_{key}", {
+    previous = _record(f"serial_{key}", {
         "benchmark": BENCHMARK, "scale": SCALE, "cycles": cycles,
         "cycles_per_sec": round(rate, 1),
         "pre_pr_cycles_per_sec": PRE_PR_CYCLES_PER_SEC[key],
@@ -162,6 +175,9 @@ def _serial_row(benchmark, technique: Technique, key: str) -> None:
           f"single-run throughput {rate:,.0f} cycles/s is "
           f"{speedup:.2f}x the pre-PR rate; gate is "
           f">= {MIN_SPEEDUP}x (with {SPEEDUP_TOLERANCE:.0%} tolerance)")
+    history_ok, message = history.check_against_previous(
+        previous, "cycles_per_sec", rate)
+    _gate(f"serial_{key}", history_ok, f"vs history: {message}")
 
 
 def test_core_serial_baseline(benchmark):
@@ -189,7 +205,7 @@ def test_core_instrumented_overhead(benchmark):
                  f"plain {plain:,.0f} cycles/s, bus-enabled "
                  f"{instrumented:,.0f} cycles/s "
                  f"({overhead:.1%} overhead)")
-    _record("instrumented", {
+    previous = _record("instrumented", {
         "benchmark": BENCHMARK, "scale": SCALE,
         "plain_cycles_per_sec": round(plain, 1),
         "instrumented_cycles_per_sec": round(instrumented, 1),
@@ -200,3 +216,6 @@ def test_core_instrumented_overhead(benchmark):
           f"bus-enabled overhead {overhead:.1%} exceeds the "
           f"{MAX_INSTRUMENTED_OVERHEAD:.0%} target "
           f"(+{OVERHEAD_TOLERANCE:.0%} noise allowance)")
+    history_ok, message = history.check_against_previous(
+        previous, "instrumented_cycles_per_sec", instrumented)
+    _gate("instrumented", history_ok, f"vs history: {message}")

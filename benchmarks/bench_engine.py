@@ -15,9 +15,12 @@ rows isolate pure execution-engine speed.  The persistent cache is
 disabled throughout — a cache hit would measure pickle loading, not
 simulation.
 
-Rates are appended to ``BENCH_engine.json`` at the repo root.  The
-serial row doubles as CI's throughput-regression gate: it must stay
-within 15% of the committed baseline below.
+Rates land in ``BENCH_engine.json`` at the repo root (latest snapshot)
+and are appended to ``BENCH_history.jsonl`` (full trajectory, one JSONL
+record per measurement with git sha and config — see
+:mod:`history`).  The serial row doubles as CI's throughput-regression
+gate: it must stay within 15% of the committed baseline below AND
+within the history tolerance of the last recorded run.
 """
 
 import json
@@ -26,6 +29,7 @@ from pathlib import Path
 from repro.core.techniques import Technique, TechniqueConfig
 from repro.engine import ParallelEngine, SimJob
 
+import history
 from conftest import print_figure
 
 SCALE = 0.5
@@ -56,8 +60,12 @@ def run_grid(engine_jobs: int, fast_forward: bool) -> int:
     return sum(outcome.result.cycles for outcome in outcomes)
 
 
-def record_rate(name: str, jobs: int, cycles: int, rate: float) -> None:
-    """Merge one measured rate into BENCH_engine.json."""
+def record_rate(name: str, jobs: int, cycles: int, rate: float):
+    """Merge one rate into BENCH_engine.json and append it to history.
+
+    Returns the *previous* history entry for this row (None on first
+    run) so callers can gate against the last recorded measurement.
+    """
     document = {}
     if RESULTS_PATH.exists():
         try:
@@ -68,25 +76,34 @@ def record_rate(name: str, jobs: int, cycles: int, rate: float) -> None:
                       "cycles": cycles, "cycles_per_sec": round(rate, 1)}
     RESULTS_PATH.write_text(json.dumps(document, indent=2, sort_keys=True),
                             encoding="utf-8")
+    return history.record_rates(
+        "engine", name,
+        rates={"cycles_per_sec": round(rate, 1)},
+        config={"grid": len(GRID), "scale": SCALE, "jobs": jobs,
+                "cycles": cycles})
 
 
-def _measure(benchmark, name: str, jobs: int, fast_forward: bool) -> float:
+def _measure(benchmark, name: str, jobs: int, fast_forward: bool):
     cycles = benchmark.pedantic(run_grid, args=(jobs, fast_forward),
                                 rounds=3, iterations=1, warmup_rounds=1)
     rate = cycles / benchmark.stats.stats.min
     print_figure(f"ENGINE/{name}",
                  f"{cycles} simulated cycles over {len(GRID)} runs "
                  f"at {rate:,.0f} cycles/s (jobs={jobs})")
-    record_rate(name, jobs, cycles, rate)
-    return rate
+    previous = record_rate(name, jobs, cycles, rate)
+    return rate, previous
 
 
 def test_engine_serial(benchmark):
     """Cycle-by-cycle in-process grid — the regression-gated row."""
-    rate = _measure(benchmark, "serial", jobs=1, fast_forward=False)
+    rate, previous = _measure(benchmark, "serial", jobs=1,
+                              fast_forward=False)
     assert rate > SERIAL_BASELINE_CYCLES_PER_SEC * 0.85, (
         f"serial throughput regressed >15%: {rate:,.0f} cycles/s vs "
         f"baseline {SERIAL_BASELINE_CYCLES_PER_SEC:,.0f}")
+    ok, message = history.check_against_previous(
+        previous, "cycles_per_sec", rate)
+    assert ok, f"serial throughput vs history: {message}"
 
 
 def test_engine_fast_forward(benchmark):

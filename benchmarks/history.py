@@ -1,0 +1,144 @@
+"""Append-only performance trajectory for the benchmark suite.
+
+``BENCH_core.json`` / ``BENCH_engine.json`` are *snapshots* — each bench
+run overwrites them in place, so the repo never accumulates a
+performance history.  This module adds the missing axis: every recorded
+rate is also appended as one JSONL line to ``BENCH_history.jsonl`` at
+the repo root, stamped with the git sha, timestamp and the bench's
+config, so ``git log`` + the history file together give a
+machine-readable throughput trajectory.
+
+The CI regression gates use :func:`previous_entry` /
+:func:`check_against_previous` to compare a fresh rate against the last
+*recorded* run (not just the hard-coded floor baked into each bench):
+a large drop versus the previous entry fails the gate even when the
+absolute floor still passes.  Fetch the previous entry *before*
+appending the new one — the helpers in the bench scripts do this for
+you via :func:`record_rates`.
+
+Torn or hand-mangled lines are skipped on read; the history file is
+append-only and safe to truncate if it ever grows unwieldy.
+"""
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
+
+#: Default drop tolerance versus the previous recorded entry.  History
+#: entries come from heterogeneous machines (laptops, CI runners), so
+#: the gate is deliberately loose — it catches step-function
+#: regressions, not noise.
+DEFAULT_TOLERANCE = 0.30
+
+
+def git_sha(root: Union[str, Path] = REPO_ROOT) -> str:
+    """The current short commit sha, or "" outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=str(root), capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    if proc.returncode != 0:
+        return ""
+    return proc.stdout.strip()
+
+
+def read_history(path: Union[str, Path] = HISTORY_PATH,
+                 ) -> Iterator[Dict]:
+    """Yield history records oldest-first, skipping torn lines."""
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def previous_entry(suite: str, name: str,
+                   path: Union[str, Path] = HISTORY_PATH,
+                   ) -> Optional[Dict]:
+    """The most recent history record for ``(suite, name)``, if any."""
+    latest = None
+    for record in read_history(path):
+        if record.get("suite") == suite and record.get("name") == name:
+            latest = record
+    return latest
+
+
+def append_entry(suite: str, name: str, rates: Dict,
+                 config: Optional[Dict] = None,
+                 path: Union[str, Path] = HISTORY_PATH) -> Dict:
+    """Append one timestamped record and return it."""
+    record = {
+        "suite": suite,
+        "name": name,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                     time.gmtime()),
+        "git_sha": git_sha(),
+        "config": dict(config or {}),
+        "rates": dict(rates),
+    }
+    path = Path(path)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def record_rates(suite: str, name: str, rates: Dict,
+                 config: Optional[Dict] = None,
+                 path: Union[str, Path] = HISTORY_PATH,
+                 ) -> Optional[Dict]:
+    """Append a record; return the *previous* entry for gating.
+
+    The previous entry is captured before the append so callers can gate
+    the fresh rates against the last recorded run in one call.
+    """
+    previous = previous_entry(suite, name, path)
+    append_entry(suite, name, rates, config, path)
+    return previous
+
+
+def check_against_previous(previous: Optional[Dict], rate_key: str,
+                           rate: float,
+                           tolerance: float = DEFAULT_TOLERANCE,
+                           ) -> Tuple[bool, str]:
+    """Gate a fresh rate against the previous history entry.
+
+    Returns ``(ok, message)``.  Passes trivially when there is no
+    previous entry or it lacks ``rate_key`` (first run, new metric).
+    """
+    if previous is None:
+        return True, f"{rate_key}: no history yet, gate passes"
+    old = previous.get("rates", {}).get(rate_key)
+    if not isinstance(old, (int, float)) or old <= 0:
+        return True, f"{rate_key}: no comparable previous rate"
+    floor = old * (1.0 - tolerance)
+    sha = previous.get("git_sha", "?")
+    if rate >= floor:
+        return True, (f"{rate_key}: {rate:,.0f} vs previous "
+                      f"{old:,.0f} ({sha}) — within {tolerance:.0%}")
+    return False, (f"{rate_key}: {rate:,.0f} dropped more than "
+                   f"{tolerance:.0%} below the previous entry "
+                   f"{old:,.0f} (recorded at "
+                   f"{previous.get('recorded_at', '?')}, {sha})")
+
+
+__all__ = [
+    "DEFAULT_TOLERANCE", "HISTORY_PATH", "append_entry",
+    "check_against_previous", "git_sha", "previous_entry",
+    "read_history", "record_rates",
+]

@@ -9,15 +9,26 @@ Commands:
   rows; ``--csv`` / ``--json`` export them).
 * ``characterize``  — the Figure 5 workload-characterisation tables.
 * ``sweep``         — Figure 11 parameter sweeps (``bet`` / ``wakeup``).
+* ``runs``          — query past engine batches from the run ledger
+  (``list`` / ``show <run>``).
 * ``spec``          — inspect (``show``) or check (``validate``)
   declarative technique specs.
+
+Engine telemetry rides on global flags: ``--progress`` renders live
+batch progress (TTY-aware), ``--engine-events`` / ``--engine-trace``
+export the engine event stream as JSONL / a Chrome trace with one lane
+per worker process, and ``run --profile`` aggregates per-worker
+cProfile dumps into one report.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import sys
+import tempfile
+import time as _time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -113,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="MB",
                         help="cap the persistent cache size; "
                              "least-recently-used entries are evicted")
+    parser.add_argument("--progress", action="store_true",
+                        help="live engine-batch progress on stderr "
+                             "(single redrawn line on a TTY, heartbeat "
+                             "lines otherwise)")
+    parser.add_argument("--engine-events", metavar="PATH", default=None,
+                        help="write the engine event stream (jobs, "
+                             "retries, cache, worker summaries) as "
+                             "JSONL")
+    parser.add_argument("--engine-trace", metavar="PATH", default=None,
+                        help="write the whole batch as one Chrome "
+                             "trace with a lane per worker process")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmarks and techniques")
@@ -134,8 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a Chrome trace-event JSON of the "
                               "run (load in Perfetto / chrome://tracing)")
     run_cmd.add_argument("--profile", action="store_true",
-                         help="print per-run provenance manifests "
-                              "(config hash, wall-clock, cycles/sec)")
+                         help="print per-run provenance manifests and "
+                              "cProfile the command — per-worker dumps "
+                              "under --jobs are aggregated into one "
+                              "pstats report")
 
     fig_cmd = sub.add_parser("figure", help="regenerate a paper figure")
     fig_cmd.add_argument("name", choices=sorted(FIGURE_BUILDERS))
@@ -148,6 +172,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_cmd = sub.add_parser("sweep", help="Figure 11 sweeps")
     sweep_cmd.add_argument("axis", choices=["bet", "wakeup"])
+
+    runs_cmd = sub.add_parser(
+        "runs", help="query past engine batches from the run ledger")
+    runs_sub = runs_cmd.add_subparsers(dest="runs_command",
+                                       required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="list recorded engine batches, newest last")
+    runs_list.add_argument("--limit", type=int, default=20, metavar="N",
+                           help="show at most the N newest runs "
+                                "(default 20)")
+    runs_show = runs_sub.add_parser(
+        "show", help="print one batch's per-job ledger records")
+    runs_show.add_argument("run",
+                           help="run id, or any unambiguous prefix")
+    runs_show.add_argument("--json", action="store_true",
+                           dest="as_json",
+                           help="dump the raw ledger records as JSON")
 
     trace_cmd = sub.add_parser("trace",
                                help="export a benchmark's kernel trace")
@@ -216,12 +257,143 @@ def _load_spec_file(path: str) -> TechniqueSpec:
     return spec
 
 
+class _ObsSession:
+    """One command's telemetry surface, built from the global flags.
+
+    Owns the :class:`~repro.obs.telemetry.EngineTelemetry` (when any of
+    ``--progress`` / ``--engine-events`` / ``--engine-trace`` /
+    ``run --profile`` asks for one), the subscribers those flags
+    attach, and the parent-side cProfile under ``--profile``.
+    :meth:`finish` closes everything and prints where files landed —
+    with no flags set, the session is inert and the command runs
+    exactly as before.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.telemetry = None
+        self.progress = None
+        self.event_log = None
+        self.trace = None
+        self.trace_path = getattr(args, "engine_trace", None)
+        self.events_path = getattr(args, "engine_events", None)
+        self.profiler: Optional[cProfile.Profile] = None
+        self.profile_dir: Optional[str] = None
+        self.profile_report: Optional[Path] = None
+        self._engines: list = []
+
+        want_bus = bool(getattr(args, "progress", False)
+                        or self.trace_path or self.events_path)
+        profiling = bool(getattr(args, "profile", False))
+        if profiling and args.jobs > 1:
+            # Workers dump per-job pstats here; finish() merges them.
+            self.profile_dir = tempfile.mkdtemp(prefix="repro-profile-")
+        if not want_bus and self.profile_dir is None \
+                and not profiling:
+            return
+
+        if want_bus or self.profile_dir is not None:
+            from repro.obs import (
+                EngineTelemetry,
+                EngineTraceExporter,
+                JsonlEventLog,
+                ProgressReporter,
+            )
+            self.telemetry = EngineTelemetry(
+                enabled=want_bus, profile_dir=self.profile_dir)
+            if getattr(args, "progress", False):
+                self.progress = ProgressReporter() \
+                    .attach(self.telemetry.bus)
+            if self.events_path:
+                self.event_log = JsonlEventLog(self.events_path) \
+                    .attach(self.telemetry.bus)
+            if self.trace_path:
+                self.trace = EngineTraceExporter() \
+                    .attach(self.telemetry.bus)
+        if profiling:
+            from repro.obs.ledger import new_run_id
+            root = Path(tempfile.gettempdir()) if args.no_cache \
+                else Path(".repro-cache")
+            self.profile_report = (root / "profile"
+                                   / f"profile-{new_run_id()}.pstats")
+            self.profiler = cProfile.Profile()
+            self.profiler.enable()
+
+    def bind(self, engine) -> None:
+        """Remember an engine so its ledger can note the report path."""
+        self._engines.append(engine)
+        if self.profile_report is not None:
+            engine.ledger_meta["profile_report"] = \
+                str(self.profile_report)
+
+    def finish(self) -> None:
+        """Stop profiling, flush the relay, close subscribers, report."""
+        if self.profiler is not None:
+            self.profiler.disable()
+        if self.telemetry is not None:
+            self.telemetry.flush()
+        if self.progress is not None:
+            self.progress.close()
+        if self.event_log is not None:
+            self.event_log.close()
+            print(f"wrote {self.events_path} "
+                  f"({self.event_log.events_written} events)")
+        if self.trace is not None:
+            self.trace.write(self.trace_path)
+            print(f"wrote {self.trace_path} "
+                  f"({len(self.trace.worker_lanes)} worker lane(s))")
+        if self.profiler is not None:
+            self._write_profile()
+        if self.telemetry is not None:
+            self.telemetry.close()
+
+    def abort(self) -> None:
+        """Tear down quietly (no file writes) after a hard error."""
+        if self.profiler is not None:
+            self.profiler.disable()
+            self.profiler = None
+        if self.progress is not None:
+            self.progress.close()
+            self.progress = None
+        if self.event_log is not None:
+            self.event_log.close()
+            self.event_log = None
+        if self.telemetry is not None:
+            self.telemetry.close()
+            self.telemetry = None
+
+    def _write_profile(self) -> None:
+        from repro.obs.profiling import (
+            aggregate_profiles,
+            profile_summary,
+            write_profile_report,
+        )
+        stats, dumps = aggregate_profiles(self.profile_dir,
+                                          parent=self.profiler)
+        if stats is None or self.profile_report is None:
+            return
+        write_profile_report(stats, self.profile_report)
+        print()
+        print(profile_summary(stats))
+        print(f"profile report: {self.profile_report} "
+              f"(parent + {dumps} worker dump(s))")
+
+
+def _obs(args: argparse.Namespace) -> _ObsSession:
+    """The command's telemetry session (created by :func:`main`)."""
+    session = getattr(args, "_obs_session", None)
+    if session is None:
+        session = _ObsSession(args)
+        args._obs_session = session
+    return session
+
+
 def _engine(args: argparse.Namespace):
     """Build the parallel engine the global flags describe."""
     from repro.engine import FaultPolicy, ParallelEngine
     from repro.engine.cache import DEFAULT_CACHE_DIR
 
-    return ParallelEngine(
+    session = _obs(args)
+    engine = ParallelEngine(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else DEFAULT_CACHE_DIR,
         fast_forward=not args.no_fast_forward,
@@ -229,7 +401,10 @@ def _engine(args: argparse.Namespace):
                            job_timeout=args.job_timeout,
                            fail_fast=args.fail_fast),
         cache_max_bytes=(int(args.cache_cap_mb * 2 ** 20)
-                         if args.cache_cap_mb is not None else None))
+                         if args.cache_cap_mb is not None else None),
+        telemetry=session.telemetry)
+    session.bind(engine)
+    return engine
 
 
 def _failure_exit(manifests) -> int:
@@ -458,6 +633,80 @@ def cmd_replicate(args: argparse.Namespace) -> int:
     return _failure_exit(failure_log)
 
 
+def _format_stamp(value: object) -> str:
+    try:
+        return _time.strftime("%Y-%m-%d %H:%M:%S",
+                              _time.localtime(float(value)))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "?"
+
+
+def _ledger_root(args: argparse.Namespace) -> Path:
+    from repro.engine.cache import DEFAULT_CACHE_DIR
+    from repro.obs.ledger import ledger_dir_for
+
+    return ledger_dir_for(DEFAULT_CACHE_DIR)
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Query the run ledger: ``runs list`` / ``runs show <run>``."""
+    from repro.obs.ledger import list_runs, load_run, summarize_run
+
+    root = _ledger_root(args)
+    if args.runs_command == "list":
+        summaries = list_runs(root)
+        if not summaries:
+            print(f"no recorded runs under {root}")
+            return 0
+        rows = []
+        for summary in summaries[-args.limit:]:
+            counts = summary.get("counts", {})
+            bad = sum(n for status, n in counts.items()
+                      if status != "ok")
+            rows.append([
+                summary.get("run_id", "?"),
+                _format_stamp(summary.get("created_at")),
+                summary.get("job_count", 0),
+                counts.get("ok", 0), bad,
+                summary.get("cache_hits", 0),
+                "yes" if summary.get("finished") else "NO",
+            ])
+        print(format_table(
+            ("run", "started", "jobs", "ok", "bad", "cache_hits",
+             "finished"),
+            rows, title=f"Run ledger: {root}"))
+        return 0
+
+    try:
+        records = load_run(root, args.run)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if args.as_json:
+        print(json.dumps(records, indent=2))
+        return 0
+    summary = summarize_run(records)
+    print(f"run {summary.get('run_id', args.run)}  "
+          f"started {_format_stamp(summary.get('created_at'))}  "
+          f"workers={summary.get('engine_jobs', '?')}  "
+          f"finished={'yes' if summary.get('finished') else 'NO'}")
+    jobs = [r for r in records if r.get("record") == "job"]
+    print(format_table(
+        ("#", "benchmark", "technique", "spec_hash", "seed", "status",
+         "attempts", "worker", "cache", "cycles", "wall_s", "error"),
+        [[j.get("index"), j.get("benchmark"), j.get("technique"),
+          j.get("spec_hash"), j.get("seed"), j.get("status"),
+          j.get("attempts"),
+          j.get("worker") or "-",
+          "hit" if j.get("cache_hit") else "miss",
+          j.get("cycles"), j.get("wall_seconds"),
+          str(j.get("error", ""))[:40]] for j in jobs],
+        title=f"{len(jobs)} job(s)"))
+    footer = next((r for r in records if r.get("record") == "end"), None)
+    if footer and footer.get("profile_report"):
+        print(f"profile report: {footer['profile_report']}")
+    return 0
+
+
 def cmd_spec(args: argparse.Namespace) -> int:
     """Inspect (``show``) or check (``validate``) technique specs."""
     if args.spec_command == "show":
@@ -480,6 +729,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "energy": cmd_energy,
     "replicate": cmd_replicate,
+    "runs": cmd_runs,
     "spec": cmd_spec,
 }
 
@@ -492,11 +742,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     3 the command completed a partial grid around failed jobs.
     """
     args = build_parser().parse_args(argv)
+    session = _obs(args)
     try:
-        return COMMANDS[args.command](args)
+        code = COMMANDS[args.command](args)
     except JobFailedError as exc:
+        # Flush telemetry first: the partial trace/ledger is exactly
+        # what a failure post-mortem wants.
+        session.finish()
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BaseException:
+        session.abort()
+        raise
+    session.finish()
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -16,7 +16,10 @@ job spec.  This package exploits that structure:
 * :mod:`repro.engine.pool` — :class:`ParallelEngine`, the
   ``ProcessPoolExecutor`` wrapper that fans jobs out and collects
   results in submission order, so aggregated output is bit-identical
-  to a serial run.
+  to a serial run.  Hand it an
+  :class:`~repro.obs.telemetry.EngineTelemetry` and the whole batch
+  streams onto the parent event bus (with per-batch run ledgers under
+  ``<cache_dir>/ledger/``).
 
 The harness (:mod:`repro.harness.experiment`) and the CLI's
 ``--jobs`` / ``--no-cache`` flags are the user-facing surface.

@@ -38,12 +38,23 @@ The store is managed, not just a pile of pickles:
 from __future__ import annotations
 
 import hashlib
+import logging
+import multiprocessing
 import os
 import pickle
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Callable, Iterator, Optional, Union
+
+from repro.obs.telemetry import (
+    CacheEvicted,
+    CacheHit,
+    CacheMiss,
+    CacheSwept,
+)
+
+_log = logging.getLogger("repro.engine.cache")
 
 #: Default cache root, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -76,17 +87,24 @@ class RunCache:
             sweeps once per batch instead.
         stale_tmp_age: Age in seconds past which a temp file counts as
             orphaned.
+        listener: Optional callable receiving cache telemetry events
+            (:class:`~repro.obs.telemetry.CacheHit` / ``CacheMiss`` /
+            ``CacheEvicted`` / ``CacheSwept``) as they happen — a
+            worker's telemetry session forwards them to the parent bus.
     """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR,
                  max_bytes: Optional[int] = None,
                  janitor: bool = True,
-                 stale_tmp_age: float = STALE_TMP_AGE) -> None:
+                 stale_tmp_age: float = STALE_TMP_AGE,
+                 listener: Optional[Callable] = None) -> None:
         self.root = Path(root)
         self.max_bytes = max_bytes
         self.stale_tmp_age = stale_tmp_age
+        self.listener = listener
         self.hits = 0
         self.misses = 0
+        self.corrupt_misses = 0
         self.evictions = 0
         self.swept_tmp = 0
         #: Approximate stored-bytes total, initialised lazily on the
@@ -108,21 +126,31 @@ class RunCache:
 
         Corrupt, truncated, legacy-format and version-skewed entries
         all count as misses — the checksum is verified *before* any
-        unpickling happens.
+        unpickling happens — but are tracked (and reported to the
+        ``listener``) separately from plain absences.
         """
         path = self.path(group, key)
         try:
             blob = path.read_bytes()
-            value = _decode(blob)
-        except (OSError, ValueError, pickle.PickleError, EOFError,
-                AttributeError, ImportError):
+        except OSError:  # absent (or unreadable): the ordinary miss
             self.misses += 1
+            self._emit(CacheMiss, group=group, key=key)
+            return None
+        try:
+            value = _decode(blob)
+        except (ValueError, pickle.PickleError, EOFError,
+                AttributeError, ImportError):
+            # Present but unusable: damaged, legacy or foreign entry.
+            self.misses += 1
+            self.corrupt_misses += 1
+            self._emit(CacheMiss, group=group, key=key, corrupt=True)
             return None
         try:
             os.utime(path)  # refresh recency for LRU eviction
         except OSError:
             pass
         self.hits += 1
+        self._emit(CacheHit, group=group, key=key)
         return value
 
     def put(self, group: str, key: str, value: Any) -> None:
@@ -150,6 +178,18 @@ class RunCache:
                 self._approx_bytes += len(blob)
             if self._approx_bytes > self.max_bytes:
                 self._evict()
+
+    def _emit(self, event_type: type, **fields: object) -> None:
+        """Hand one cache event to the listener (never raises)."""
+        if self.listener is None:
+            return
+        if event_type in (CacheHit, CacheMiss):
+            fields.setdefault(
+                "worker", multiprocessing.current_process().name)
+        try:
+            self.listener(event_type.now(**fields))
+        except Exception:  # telemetry must never break the cache path
+            _log.debug("cache listener failed", exc_info=True)
 
     # ------------------------------------------------------------------
     # management
@@ -181,6 +221,10 @@ class RunCache:
                 except OSError:
                     continue
         self.swept_tmp += removed
+        if removed:
+            _log.info("cache janitor: swept %d stale tmp file(s) "
+                      "under %s", removed, self.root)
+            self._emit(CacheSwept, removed=removed)
         return removed
 
     def total_bytes(self) -> int:
@@ -211,6 +255,8 @@ class RunCache:
                 continue
             stamped.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
+        evicted = 0
+        freed = 0
         if total > self.max_bytes:
             stamped.sort(key=lambda item: (item[0], str(item[2])))
             for _, size, path in stamped:
@@ -222,7 +268,14 @@ class RunCache:
                     continue
                 total -= size
                 self.evictions += 1
+                evicted += 1
+                freed += size
         self._approx_bytes = total
+        if evicted:
+            _log.info("cache LRU cap: evicted %d entrie(s), freed %d "
+                      "bytes (cap %d, now %d) under %s", evicted,
+                      freed, self.max_bytes, total, self.root)
+            self._emit(CacheEvicted, entries=evicted, bytes=freed)
 
     def _group_dirs(self) -> Iterator[Path]:
         try:

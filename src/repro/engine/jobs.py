@@ -24,6 +24,7 @@ from repro.engine.faults import JobReport, JobStatus
 from repro.isa.trace import KernelTrace
 from repro.isa.tracegen import TraceGenerator
 from repro.obs.manifest import RunManifest, config_hash
+from repro.obs.telemetry import JobTelemetry, current_worker, job_label
 from repro.sim.config import SMConfig
 from repro.sim.sm import SimResult
 from repro.workloads.registry import scaled_spec
@@ -183,13 +184,35 @@ def execute_job(job: SimJob,
     usual ``build_trace`` / ``simulate`` phases — and ``worker`` names
     the executing process.
 
+    When the process carries worker telemetry (installed by the pool
+    initializer, or the engine's inline path), the job runs inside a
+    telemetry session: :class:`~repro.obs.telemetry.JobStarted` goes
+    out immediately, cache hits/misses stream as they happen, sim
+    events are digested by a bounded sampler, and a compact
+    :class:`~repro.obs.telemetry.WorkerEventSummary` ships when the
+    job completes.  Without telemetry (the default) this function is
+    byte-for-byte the old path: one ``None`` check, disabled sim bus.
+
     The cache is opened with the janitor off: sweeping orphaned temp
     files is the engine's once-per-batch job
     (:meth:`~repro.engine.pool.ParallelEngine.run_sim_jobs`), not
     something every job in every worker should re-pay.
     """
+    telemetry = current_worker()
+    if telemetry is None:
+        return _run_cell(job, cache_dir, cache_max_bytes, None)
+    with telemetry.profile_job():
+        return _run_cell(job, cache_dir, cache_max_bytes,
+                         telemetry.job_session(job_label(job)))
+
+
+def _run_cell(job: SimJob, cache_dir: Optional[str],
+              cache_max_bytes: Optional[int],
+              session: Optional[JobTelemetry]) -> JobOutcome:
     cache = RunCache(cache_dir, max_bytes=cache_max_bytes,
-                     janitor=False) if cache_dir else None
+                     janitor=False,
+                     listener=session.emit if session is not None
+                     else None) if cache_dir else None
     spec = job.spec
     settings_hash = config_hash(spec.spec_hash(), job.sm_config)
     key = job.cache_key()
@@ -210,6 +233,8 @@ def execute_job(job: SimJob,
                 worker=_worker_name(),
                 cache_hit=True,
                 spec=spec.to_dict())
+            if session is not None:
+                session.finish(cycles=result.cycles, cache_hit=True)
             return JobOutcome(result=result, manifest=manifest)
 
     t0 = time.perf_counter()
@@ -218,11 +243,14 @@ def execute_job(job: SimJob,
     t1 = time.perf_counter()
     sm = build_sm(kernel, spec, sm_config=job.sm_config,
                   dram_latency=get_profile(job.benchmark).dram_latency,
+                  bus=session.sim_bus() if session is not None else None,
                   fast_forward=job.fast_forward)
     result = sm.run()
     t2 = time.perf_counter()
     if cache is not None:
         cache.put("results", key, result)
+    if session is not None:
+        session.finish(cycles=result.cycles)
     manifest = RunManifest(
         benchmark=job.benchmark,
         technique=spec.name,

@@ -46,6 +46,7 @@ from concurrent.futures import (
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
+from pathlib import Path
 from typing import (
     Callable,
     Dict,
@@ -56,15 +57,31 @@ from typing import (
     Set,
     Tuple,
     TypeVar,
+    Union,
 )
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, RunCache
-from repro.engine.faults import FaultPolicy, JobReport, JobStatus
+from repro.engine.faults import (
+    FaultPolicy,
+    JobReport,
+    JobStatus,
+    last_error_line,
+)
 from repro.engine.jobs import (
     JobOutcome,
     SimJob,
     execute_job,
     outcome_from_report,
+)
+from repro.obs.ledger import LedgerWriter, ledger_dir_for, new_run_id
+from repro.obs.telemetry import (
+    EngineTelemetry,
+    JobFinished,
+    JobQueued,
+    JobRetry,
+    PoolRebuilt,
+    inline_worker,
+    job_label,
 )
 
 T = TypeVar("T")
@@ -79,6 +96,32 @@ _TIMEOUT_POLL = 0.05
 def _format_error(exc: BaseException) -> str:
     return "".join(traceback.format_exception(type(exc), exc,
                                               exc.__traceback__))
+
+
+def _ledger_record(index: int, job: SimJob,
+                   outcome: JobOutcome) -> Dict[str, object]:
+    """One run-ledger job line, derived from the settled outcome."""
+    manifest = outcome.manifest
+    try:
+        spec_hash = job.spec.spec_hash()
+    except Exception:  # unresolvable spec; the status already says so
+        spec_hash = ""
+    return dict(
+        index=index,
+        benchmark=manifest.benchmark,
+        technique=manifest.technique,
+        spec_hash=spec_hash,
+        seed=manifest.seed,
+        scale=manifest.scale,
+        status=outcome.status.value,
+        attempts=outcome.attempts,
+        worker=manifest.worker,
+        cache_hit=manifest.cache_hit,
+        cycles=manifest.cycles,
+        instructions=manifest.instructions,
+        wall_seconds=round(manifest.total_seconds, 6),
+        error=last_error_line(outcome.error),
+    )
 
 
 class ParallelEngine:
@@ -97,13 +140,25 @@ class ParallelEngine:
             this engine (no retries, no timeout unless configured).
         cache_max_bytes: Optional size cap for the persistent cache;
             workers evict least-recently-used entries past it.
+        telemetry: Optional :class:`~repro.obs.telemetry
+            .EngineTelemetry` — when given (and its bus is enabled),
+            the engine publishes job/cache/pool events onto its bus,
+            workers relay digested sim events back to it, and worker
+            profiling dumps go to its ``profile_dir``.  None (default)
+            keeps every hook a single ``is None`` check.
+        ledger: ``True`` (default) writes one run-ledger JSONL per
+            :meth:`run_sim_jobs` batch under ``<cache_dir>/ledger/``
+            (silently off without a cache dir); a path writes ledgers
+            there instead; ``False`` disables them.
     """
 
     def __init__(self, jobs: int = 1,
                  cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
                  fast_forward: bool = True,
                  policy: Optional[FaultPolicy] = None,
-                 cache_max_bytes: Optional[int] = None) -> None:
+                 cache_max_bytes: Optional[int] = None,
+                 telemetry: Optional[EngineTelemetry] = None,
+                 ledger: Union[bool, str, Path] = True) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
@@ -111,8 +166,19 @@ class ParallelEngine:
         self.fast_forward = fast_forward
         self.policy = policy if policy is not None else FaultPolicy()
         self.cache_max_bytes = cache_max_bytes
+        self.telemetry = telemetry
+        self.ledger = ledger
+        #: Extra key/values merged into the next ledger's ``end``
+        #: record (e.g. the ``--profile`` report path).
+        self.ledger_meta: Dict[str, object] = {}
+        #: Run id of the most recent :meth:`run_sim_jobs` ledger.
+        self.last_run_id: Optional[str] = None
         self._executor: Optional[ProcessPoolExecutor] = None
         self._cache_swept = False
+        #: Per-batch state: the active telemetry (None when disabled)
+        #: and the submission-order labels of the current batch.
+        self._tel: Optional[EngineTelemetry] = None
+        self._labels: List[str] = []
 
     # ------------------------------------------------------------------
     # generic mapping
@@ -155,11 +221,65 @@ class ParallelEngine:
         items = list(items)
         if not items:
             return []
-        pooled = self.jobs > 1 and (len(items) > 1
-                                    or policy.job_timeout is not None)
-        if not pooled:
-            return self._inline_outcomes(fn, items, policy)
-        return self._pooled_outcomes(fn, items, policy)
+        self._begin_batch(items)
+        try:
+            pooled = self.jobs > 1 and (len(items) > 1
+                                        or policy.job_timeout is not None)
+            if not pooled:
+                if self.telemetry is not None:
+                    with inline_worker(self.telemetry):
+                        return self._inline_outcomes(fn, items, policy)
+                return self._inline_outcomes(fn, items, policy)
+            reports = self._pooled_outcomes(fn, items, policy)
+            if self._tel is not None:
+                # Workers wrote their records before returning, so one
+                # drain publishes everything this batch produced.
+                self._tel.flush()
+            return reports
+        finally:
+            self._tel = None
+            self._labels = []
+
+    def _begin_batch(self, items: Sequence) -> None:
+        """Arm per-batch telemetry state and announce the queue."""
+        telemetry = self.telemetry
+        self._tel = telemetry if (telemetry is not None
+                                  and telemetry.enabled) else None
+        if self._tel is None:
+            self._labels = []
+            return
+        self._labels = [job_label(item, i)
+                        for i, item in enumerate(items)]
+        for index, item in enumerate(items):
+            try:
+                spec = getattr(item, "spec", None)
+                spec_hash = spec.spec_hash() if spec is not None \
+                    and hasattr(spec, "spec_hash") else ""
+            except Exception:  # unresolvable spec: the job will fail
+                spec_hash = ""  # on execution; don't die announcing it
+
+            self._tel.emit(JobQueued.now(label=self._labels[index],
+                                         index=index,
+                                         spec_hash=spec_hash))
+
+    def _emit_retry(self, index: int, attempt: int, reason: str) -> None:
+        if self._tel is not None:
+            self._tel.emit(JobRetry.now(label=self._labels[index],
+                                        index=index, attempt=attempt,
+                                        reason=reason))
+
+    def _emit_finished(self, index: int, status: str, attempts: int,
+                       value: object = None) -> None:
+        if self._tel is None:
+            return
+        manifest = getattr(value, "manifest", None)
+        self._tel.emit(JobFinished.now(
+            label=self._labels[index], index=index, status=status,
+            attempts=attempts,
+            seconds=manifest.total_seconds if manifest is not None
+            else 0.0,
+            cache_hit=bool(getattr(manifest, "cache_hit", False)),
+            worker=str(getattr(manifest, "worker", ""))))
 
     # ------------------------------------------------------------------
     # inline execution (jobs == 1, or single-item batches)
@@ -175,6 +295,7 @@ class ParallelEngine:
                 reports.append(JobReport(
                     index=index, status=JobStatus.CANCELLED,
                     error="cancelled by fail-fast", attempts=0))
+                self._emit_finished(index, "cancelled", 0)
                 continue
             failures = 0
             while True:
@@ -183,17 +304,21 @@ class ParallelEngine:
                 except Exception as exc:
                     failures += 1
                     if failures <= policy.max_retries:
+                        self._emit_retry(index, failures, "failed")
                         time.sleep(policy.backoff(failures))
                         continue
                     reports.append(JobReport(
                         index=index, status=JobStatus.FAILED,
                         error=_format_error(exc), attempts=failures,
                         exception=exc))
+                    self._emit_finished(index, "failed", failures)
                     aborted = policy.fail_fast
                 else:
                     reports.append(JobReport(
                         index=index, status=JobStatus.OK, value=value,
                         attempts=failures + 1))
+                    self._emit_finished(index, "ok", failures + 1,
+                                        value)
                 break
         return reports
 
@@ -242,6 +367,7 @@ class ParallelEngine:
                     reports[index] = JobReport(
                         index=index, status=JobStatus.CANCELLED,
                         error="cancelled by fail-fast", attempts=fails)
+                    self._emit_finished(index, "cancelled", fails)
                     continue
                 if future in expired:
                     # Ran past its own budget (anchored to when it was
@@ -262,6 +388,8 @@ class ParallelEngine:
                     value = future.result()
                 except BrokenProcessPool as exc:
                     self._teardown_pool(kill=True)
+                    if self._tel is not None:
+                        self._tel.emit(PoolRebuilt.now(reason="crash"))
                     broke = True
                     crash_break = True
                     if len(wave) == 1:
@@ -275,6 +403,7 @@ class ParallelEngine:
                         # resubmit uncharged; isolation is decided at
                         # the end of the wave.
                         pending.append((index, fails))
+                        self._emit_retry(index, fails, "pool_broken")
                 except CancelledError:
                     pending.append((index, fails))
                 except Exception as exc:
@@ -285,11 +414,13 @@ class ParallelEngine:
                     reports[index] = JobReport(
                         index=index, status=JobStatus.OK, value=value,
                         attempts=fails + 1)
+                    self._emit_finished(index, "ok", fails + 1, value)
             if aborted:
                 for index, fails in pending:
                     reports[index] = JobReport(
                         index=index, status=JobStatus.CANCELLED,
                         error="cancelled by fail-fast", attempts=fails)
+                    self._emit_finished(index, "cancelled", fails)
                 pending = []
                 if leftovers:  # await stragglers: nothing runs detached
                     wait(leftovers)
@@ -338,6 +469,8 @@ class ParallelEngine:
                     expired.add(future)
             if expired:
                 self._teardown_pool(kill=True)
+                if self._tel is not None:
+                    self._tel.emit(PoolRebuilt.now(reason="timeout"))
                 return frozenset(expired)
 
     @staticmethod
@@ -397,6 +530,7 @@ class ParallelEngine:
                 reports[index] = JobReport(
                     index=index, status=JobStatus.OK, value=value,
                     attempts=fails + 1)
+                self._emit_finished(index, "ok", fails + 1, value)
             return False
         future.cancel()
         pending.append((index, fails))
@@ -409,10 +543,12 @@ class ParallelEngine:
         """Record one failed attempt; retry or finalise.  True = abort."""
         if failures <= policy.max_retries:
             pending.append((index, failures))
+            self._emit_retry(index, failures, "failed")
             return False
         reports[index] = JobReport(
             index=index, status=JobStatus.FAILED,
             error=_format_error(exc), attempts=failures, exception=exc)
+        self._emit_finished(index, "failed", failures)
         return policy.fail_fast
 
     def _settle_timeout(self, reports: List[Optional[JobReport]],
@@ -421,17 +557,28 @@ class ParallelEngine:
         """Record one expired attempt; retry or finalise.  True = abort."""
         if failures <= policy.max_retries:
             pending.append((index, failures))
+            self._emit_retry(index, failures, "timed_out")
             return False
         reports[index] = JobReport(
             index=index, status=JobStatus.TIMED_OUT,
             error=(f"timed out after {policy.job_timeout}s "
                    f"(attempt {failures}); worker killed"),
             attempts=failures)
+        self._emit_finished(index, "timed_out", failures)
         return policy.fail_fast
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            init = self.telemetry.pool_init() \
+                if self.telemetry is not None else None
+            if init is not None:
+                initializer, initargs = init
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs, initializer=initializer,
+                    initargs=initargs)
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs)
         return self._executor
 
     def _teardown_pool(self, kill: bool = False) -> None:
@@ -471,14 +618,48 @@ class ParallelEngine:
         failure manifest instead of a result, so a partial grid still
         returns whole.  ``worker`` overrides the executing callable
         (the fault-injection seam used by the test-suite).
+
+        Unless ledgers are disabled, the batch is recorded as one
+        run-ledger JSONL (see :mod:`repro.obs.ledger`): the records
+        are derived from the very outcome list returned here, so
+        ledger and results agree by construction, and each outcome's
+        manifest is stamped with the batch's ``run_id``.
         """
         self._sweep_cache_once()
         fn = worker if worker is not None else partial(
             execute_job, cache_dir=self.cache_dir,
             cache_max_bytes=self.cache_max_bytes)
-        reports = self.map_outcomes(fn, jobs, policy=policy)
-        return [outcome_from_report(job, report)
-                for job, report in zip(jobs, reports)]
+        ledger = self._open_ledger(len(jobs))
+        try:
+            reports = self.map_outcomes(fn, jobs, policy=policy)
+        except BaseException:
+            if ledger is not None:
+                ledger.close(aborted=True, **self.ledger_meta)
+            raise
+        outcomes = [outcome_from_report(job, report)
+                    for job, report in zip(jobs, reports)]
+        if ledger is not None:
+            for index, (job, outcome) in enumerate(zip(jobs, outcomes)):
+                outcome.manifest.run_id = ledger.run_id
+                ledger.job(**_ledger_record(index, job, outcome))
+            ledger.close(**self.ledger_meta)
+            self.last_run_id = ledger.run_id
+        return outcomes
+
+    def _open_ledger(self, job_count: int) -> Optional[LedgerWriter]:
+        """A writer for this batch, or None when ledgers are off."""
+        if self.ledger is False:
+            return None
+        if self.ledger is True:
+            if not self.cache_dir:
+                return None
+            directory = ledger_dir_for(self.cache_dir)
+        else:
+            directory = Path(self.ledger)
+        return LedgerWriter(
+            directory, new_run_id(), jobs=job_count,
+            engine_jobs=self.jobs, cache_dir=str(self.cache_dir or ""),
+            fast_forward=self.fast_forward)
 
     def _sweep_cache_once(self) -> None:
         """One janitor pass per engine, before jobs touch the cache.

@@ -86,6 +86,10 @@ class ExperimentRunner:
     via :meth:`prefetch` — process-pool fan-out.  Results are
     bit-identical to the in-process path.  A runner with a ``bus``
     ignores the engine: event streams are inherently in-process.
+    (Engine batches *are* observable the cross-process way — give the
+    engine an :class:`~repro.obs.telemetry.EngineTelemetry` and its
+    workers relay digested events to the parent bus; each
+    :meth:`prefetch` grid also lands in the run ledger.)
 
     Every simulation appends a :class:`RunManifest` to
     ``self.manifests``: the run's exact configuration (hashed), its

@@ -11,9 +11,18 @@ The subsystem has four pieces, all usable independently:
   the flat dict lands on :class:`~repro.sim.sm.SimResult` as
   ``result.metrics``.
 * :mod:`repro.obs.exporters` — JSONL event log and Chrome trace-event
-  output (loadable in Perfetto).
+  output (loadable in Perfetto), for both the sim stream and a whole
+  parallel batch (:class:`EngineTraceExporter`, per-worker lanes).
 * :mod:`repro.obs.manifest` — per-run provenance records (config hash,
   wall-clock per phase, cycles/sec).
+* :mod:`repro.obs.telemetry` — the cross-process relay: engine events,
+  bounded worker-side sim digests, and :class:`EngineTelemetry`, the
+  parent facade the :class:`~repro.engine.pool.ParallelEngine` streams
+  through.
+* :mod:`repro.obs.ledger` — the per-batch run-ledger JSONL flight
+  recorder behind ``repro runs list|show``.
+* :mod:`repro.obs.progress` — the TTY-aware live progress renderer
+  behind ``--progress``.
 """
 
 from repro.obs.bus import NULL_BUS, EventBus
@@ -31,9 +40,18 @@ from repro.obs.events import (
 )
 from repro.obs.exporters import (
     ChromeTraceExporter,
+    EngineTraceExporter,
     JsonlEventLog,
     load_jsonl_events,
     validate_chrome_trace,
+)
+from repro.obs.ledger import (
+    LedgerWriter,
+    ledger_dir_for,
+    list_runs,
+    load_run,
+    new_run_id,
+    summarize_run,
 )
 from repro.obs.manifest import (
     RunManifest,
@@ -48,13 +66,37 @@ from repro.obs.metrics import (
     MetricsRegistry,
     metric_key,
 )
+from repro.obs.progress import ProgressReporter
+from repro.obs.telemetry import (
+    ENGINE_EVENT_TYPES,
+    CacheEvicted,
+    CacheHit,
+    CacheMiss,
+    CacheSwept,
+    EngineEvent,
+    EngineTelemetry,
+    JobFinished,
+    JobQueued,
+    JobRetry,
+    JobStarted,
+    PoolRebuilt,
+    TelemetrySettings,
+    WorkerEventSummary,
+)
 
 __all__ = [
     "EventBus", "NULL_BUS", "Event", "EVENT_TYPES",
     "GateOn", "GateOff", "Wakeup", "BlackoutBlocked",
     "PriorityFlip", "EpochAdapt", "IssueStall", "KernelBoundary",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "metric_key",
-    "JsonlEventLog", "ChromeTraceExporter", "load_jsonl_events",
-    "validate_chrome_trace",
+    "JsonlEventLog", "ChromeTraceExporter", "EngineTraceExporter",
+    "load_jsonl_events", "validate_chrome_trace",
     "RunManifest", "config_hash", "write_manifests", "load_manifests",
+    "ENGINE_EVENT_TYPES", "EngineEvent", "EngineTelemetry",
+    "TelemetrySettings", "JobQueued", "JobStarted", "JobRetry",
+    "JobFinished", "PoolRebuilt", "CacheHit", "CacheMiss",
+    "CacheEvicted", "CacheSwept", "WorkerEventSummary",
+    "LedgerWriter", "ledger_dir_for", "list_runs", "load_run",
+    "new_run_id", "summarize_run",
+    "ProgressReporter",
 ]

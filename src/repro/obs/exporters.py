@@ -39,6 +39,14 @@ from repro.obs.events import (
     PriorityFlip,
     Wakeup,
 )
+from repro.obs.telemetry import (
+    CacheHit,
+    CacheMiss,
+    JobFinished,
+    JobRetry,
+    PoolRebuilt,
+    WorkerEventSummary,
+)
 
 
 class JsonlEventLog:
@@ -241,6 +249,170 @@ class ChromeTraceExporter:
         if end_cycle is not None:
             document["otherData"]["end_cycle"] = end_cycle
         Path(path).write_text(json.dumps(document, indent=1),
+                              encoding="utf-8")
+
+
+#: Synthetic thread id for the engine's own (parent-side) lane.
+_ENGINE_TID = 1000
+
+
+class EngineTraceExporter:
+    """Renders a whole parallel batch as one Chrome trace.
+
+    A plain subscriber for the *engine* event stream (attach it to an
+    :class:`~repro.obs.telemetry.EngineTelemetry` bus): every worker
+    process gets its own lane, where each
+    :class:`~repro.obs.telemetry.WorkerEventSummary` becomes a complete
+    ("X") span — one box per job, carrying its digested sim-event
+    counts — and cache hits/misses render as instant markers.  Retries,
+    pool rebuilds and non-ok terminal outcomes land in a separate
+    "engine" control lane.
+
+    Engine events are wall-clock-stamped; timestamps are normalised to
+    the batch's earliest event, in microseconds (the trace-event native
+    unit), so the Perfetto timeline reads as real elapsed time.
+
+    The exporter is *crash-tolerant by construction*: a worker killed
+    mid-job never ships its summary, so its partial activity simply
+    renders as missing span — the document stays well-formed
+    (:func:`validate_chrome_trace`) no matter where the batch died.
+    """
+
+    def __init__(self, pid: int = 0) -> None:
+        self.pid = pid
+        #: Raw entries carrying absolute wall-clock ``_ts`` (and
+        #: ``_dur``) seconds; converted to µs offsets at export time.
+        self._raw: List[dict] = []
+        self._worker_tids: Dict[str, int] = {}
+        self._bus: Optional[EventBus] = None
+
+    # ------------------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "EngineTraceExporter":
+        """Subscribe to the engine events on ``bus``."""
+        bus.subscribe(self._on_summary, WorkerEventSummary)
+        bus.subscribe(self._on_finished, JobFinished)
+        bus.subscribe(self._on_retry, JobRetry)
+        bus.subscribe(self._on_rebuilt, PoolRebuilt)
+        bus.subscribe(self._on_cache, CacheHit, CacheMiss)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe every handler."""
+        if self._bus is None:
+            return
+        for handler in (self._on_summary, self._on_finished,
+                        self._on_retry, self._on_rebuilt,
+                        self._on_cache):
+            self._bus.unsubscribe(handler)
+        self._bus = None
+
+    def _worker_tid(self, worker: str) -> int:
+        if worker not in self._worker_tids:
+            self._worker_tids[worker] = len(self._worker_tids)
+        return self._worker_tids[worker]
+
+    @property
+    def worker_lanes(self) -> List[str]:
+        """Worker names with a lane, in first-seen order."""
+        return sorted(self._worker_tids,
+                      key=self._worker_tids.__getitem__)
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    def _on_summary(self, event: WorkerEventSummary) -> None:
+        self._raw.append({
+            "name": event.label, "ph": "X", "pid": self.pid,
+            "tid": self._worker_tid(event.worker),
+            "_ts": event.started_at,
+            "_dur": max(event.finished_at - event.started_at, 0.0),
+            "args": {"cycles": event.cycles,
+                     "cache_hit": event.cache_hit,
+                     "sim_events": dict(event.counts)},
+        })
+
+    def _on_finished(self, event: JobFinished) -> None:
+        if event.status == "ok":
+            return  # the worker span already shows the success
+        self._raw.append({
+            "name": f"{event.status}:{event.label}", "ph": "i",
+            "s": "t", "pid": self.pid, "tid": _ENGINE_TID,
+            "_ts": event.ts, "args": {"attempts": event.attempts},
+        })
+
+    def _on_retry(self, event: JobRetry) -> None:
+        self._raw.append({
+            "name": f"retry:{event.label}", "ph": "i", "s": "t",
+            "pid": self.pid, "tid": _ENGINE_TID, "_ts": event.ts,
+            "args": {"attempt": event.attempt,
+                     "reason": event.reason},
+        })
+
+    def _on_rebuilt(self, event: PoolRebuilt) -> None:
+        self._raw.append({
+            "name": "pool_rebuilt", "ph": "i", "s": "g",
+            "pid": self.pid, "tid": _ENGINE_TID, "_ts": event.ts,
+            "args": {"reason": event.reason},
+        })
+
+    def _on_cache(self, event: Event) -> None:
+        hit = isinstance(event, CacheHit)
+        self._raw.append({
+            "name": "cache_hit" if hit else "cache_miss", "ph": "i",
+            "s": "t", "pid": self.pid,
+            "tid": self._worker_tid(event.worker),
+            "_ts": event.ts,
+            "args": {"group": event.group, "key": event.key,
+                     **({} if hit
+                        else {"corrupt": event.corrupt})},
+        })
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+
+    def to_document(self) -> dict:
+        """The batch as a Chrome trace-event JSON object.
+
+        Timestamps are µs offsets from the batch's earliest event; X
+        spans get a minimum 1 µs duration so zero-length jobs stay
+        visible (and schema-valid).
+        """
+        t0 = min((raw["_ts"] for raw in self._raw), default=0.0)
+        events: List[dict] = []
+        for raw in self._raw:
+            event = {k: v for k, v in raw.items()
+                     if not k.startswith("_")}
+            event["ts"] = int((raw["_ts"] - t0) * 1e6)
+            if event["ph"] == "X":
+                event["dur"] = max(int(raw["_dur"] * 1e6), 1)
+            events.append(event)
+        events.sort(key=lambda e: (e["ts"], e["tid"]))
+        metadata = [
+            {"name": "process_name", "ph": "M", "pid": self.pid,
+             "args": {"name": "repro engine"}},
+            {"name": "thread_name", "ph": "M", "pid": self.pid,
+             "tid": _ENGINE_TID, "args": {"name": "engine"}},
+        ]
+        for worker, tid in sorted(self._worker_tids.items(),
+                                  key=lambda p: p[1]):
+            metadata.append({
+                "name": "thread_name", "ph": "M", "pid": self.pid,
+                "tid": tid, "args": {"name": f"worker {worker}"}})
+        return {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ms",
+            "otherData": {"time_unit": "wall-clock microseconds",
+                          "workers": self.worker_lanes},
+        }
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Serialise the trace to ``path`` (detaches first)."""
+        self.detach()
+        Path(path).write_text(json.dumps(self.to_document(), indent=1),
                               encoding="utf-8")
 
 

@@ -1,0 +1,199 @@
+"""The run ledger: a flight recorder for engine batches.
+
+Every :meth:`~repro.engine.pool.ParallelEngine.run_sim_jobs` batch with
+a cache directory appends one JSONL file under
+``.repro-cache/ledger/<run_id>.jsonl``:
+
+* one ``batch`` header — run id, wall-clock start, batch size, worker
+  count, engine configuration;
+* one ``job`` record per outcome, in submission order — benchmark,
+  technique, ``spec_hash``, seed, scale, terminal status, attempts
+  consumed, executing worker, cache disposition, cycles/instructions
+  and wall seconds (failures carry the error's last line);
+* one ``end`` footer — finish time, per-status counts, and anything
+  the caller parked in :attr:`~repro.engine.pool.ParallelEngine
+  .ledger_meta` (e.g. the ``--profile`` report path).
+
+The ledger is *authoritative but passive*: records are derived from the
+same :class:`~repro.engine.jobs.JobOutcome` list the engine returns
+(not from the telemetry stream), so ledger and ``map_outcomes`` results
+match by construction, and a batch killed mid-run still leaves every
+settled job on disk — each line is written and flushed as it happens.
+Manifests link back via their ``run_id`` field.
+
+``repro runs list`` / ``repro runs show <run>`` read these files back;
+:func:`load_run` accepts any unambiguous run-id prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Ledger subdirectory name under the engine's cache directory.
+LEDGER_DIRNAME = "ledger"
+
+
+def ledger_dir_for(cache_dir: Union[str, Path]) -> Path:
+    """Where an engine rooted at ``cache_dir`` keeps its ledgers."""
+    return Path(cache_dir) / LEDGER_DIRNAME
+
+
+def new_run_id(now: Optional[float] = None) -> str:
+    """A sortable, collision-safe run id: UTC stamp + random suffix."""
+    stamp = time.strftime("%Y%m%dT%H%M%S",
+                          time.gmtime(time.time() if now is None
+                                      else now))
+    return f"{stamp}-{os.urandom(3).hex()}"
+
+
+class LedgerWriter:
+    """Appends one batch's records to its ledger file as they happen.
+
+    Open it with the batch header fields, call :meth:`job` per settled
+    outcome, :meth:`close` with any footer metadata.  Every record is
+    flushed on write so a killed process loses at most the in-flight
+    line; :meth:`close` is idempotent and crash-tolerant (the reader
+    treats a missing ``end`` record as "batch did not finish").
+    """
+
+    def __init__(self, directory: Union[str, Path], run_id: str,
+                 **header: object) -> None:
+        self.run_id = run_id
+        self.path = Path(directory) / f"{run_id}.jsonl"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._counts: Dict[str, int] = {}
+        self._write({"record": "batch", "run_id": run_id,
+                     "created_at": time.time(), **header})
+
+    def _write(self, record: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        self._handle.flush()
+
+    def job(self, **record: object) -> None:
+        """Append one job record (submission order is the caller's)."""
+        status = str(record.get("status", "ok"))
+        self._counts[status] = self._counts.get(status, 0) + 1
+        self._write({"record": "job", **record})
+
+    def close(self, **meta: object) -> None:
+        """Write the ``end`` footer and close the file (idempotent)."""
+        if self._handle.closed:
+            return
+        self._write({"record": "end", "run_id": self.run_id,
+                     "finished_at": time.time(),
+                     "counts": dict(self._counts), **meta})
+        self._handle.close()
+
+    def __enter__(self) -> "LedgerWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# read side
+# ----------------------------------------------------------------------
+
+def _read_records(path: Path) -> List[Dict[str, object]]:
+    records = []
+    try:
+        with path.open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue  # torn final line from a killed process
+    except OSError:
+        pass
+    return records
+
+
+def summarize_run(records: List[Dict[str, object]]) -> Dict[str, object]:
+    """One run's headline: header fields + derived job counts.
+
+    Counts are recomputed from the ``job`` records (not trusted from
+    the footer) so an unfinished ledger still summarises correctly;
+    ``finished`` is False when the ``end`` record is missing.
+    """
+    header = next((r for r in records if r.get("record") == "batch"), {})
+    footer = next((r for r in records if r.get("record") == "end"), None)
+    jobs = [r for r in records if r.get("record") == "job"]
+    counts: Dict[str, int] = {}
+    for job in jobs:
+        status = str(job.get("status", "?"))
+        counts[status] = counts.get(status, 0) + 1
+    cache_hits = sum(1 for job in jobs if job.get("cache_hit"))
+    summary = dict(header)
+    summary.pop("record", None)
+    summary.update(job_count=len(jobs), counts=counts,
+                   cache_hits=cache_hits,
+                   finished=footer is not None)
+    if footer is not None:
+        summary["finished_at"] = footer.get("finished_at")
+        for key, value in footer.items():
+            if key not in ("record", "run_id", "counts", "finished_at"):
+                summary[key] = value
+    return summary
+
+
+def list_runs(directory: Union[str, Path]) -> List[Dict[str, object]]:
+    """Summaries of every ledger under ``directory``, oldest first.
+
+    Run ids sort chronologically by construction, so lexical filename
+    order is time order.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    summaries = []
+    for path in sorted(root.glob("*.jsonl")):
+        records = _read_records(path)
+        if not records:
+            continue
+        summary = summarize_run(records)
+        summary.setdefault("run_id", path.stem)
+        summary["path"] = str(path)
+        summaries.append(summary)
+    return summaries
+
+
+def load_run(directory: Union[str, Path],
+             run_id: str) -> List[Dict[str, object]]:
+    """All records of one run, looked up by id or unambiguous prefix.
+
+    Raises ``FileNotFoundError`` when nothing matches and
+    ``ValueError`` when a prefix matches several runs.
+    """
+    root = Path(directory)
+    exact = root / f"{run_id}.jsonl"
+    if exact.is_file():
+        return _read_records(exact)
+    matches = sorted(root.glob(f"{run_id}*.jsonl")) if root.is_dir() \
+        else []
+    if not matches:
+        raise FileNotFoundError(
+            f"no run matching {run_id!r} under {root}")
+    if len(matches) > 1:
+        names = ", ".join(p.stem for p in matches)
+        raise ValueError(f"run prefix {run_id!r} is ambiguous: {names}")
+    return _read_records(matches[0])
+
+
+__all__ = [
+    "LEDGER_DIRNAME",
+    "LedgerWriter",
+    "ledger_dir_for",
+    "list_runs",
+    "load_run",
+    "new_run_id",
+    "summarize_run",
+]

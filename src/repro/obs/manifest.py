@@ -65,6 +65,9 @@ class RunManifest:
     #: (``{}`` for legacy records) — the full declarative configuration,
     #: so a manifest alone can rebuild and re-run its technique.
     spec: Dict[str, object] = field(default_factory=dict)
+    #: Id of the engine batch (run-ledger file) this run settled in;
+    #: ``""`` for runs executed outside an engine batch.
+    run_id: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -98,6 +101,7 @@ class RunManifest:
             "error": self.error,
             "attempts": self.attempts,
             "spec": dict(self.spec),
+            "run_id": self.run_id,
         }
 
     @property

@@ -1,0 +1,71 @@
+"""Multi-process profile aggregation for ``--profile``.
+
+A parallel run executes almost everything inside pool workers, so a
+parent-only ``cProfile`` captures just scheduling overhead.  Under
+``--profile`` the engine's workers therefore profile each job and dump
+per-job ``.pstats`` files into the telemetry's ``profile_dir``
+(:meth:`~repro.obs.telemetry.WorkerTelemetry.profile_job`); this module
+folds those dumps and the parent's own profile into one
+:class:`pstats.Stats`, written as a single binary report whose path the
+run ledger records.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+
+def aggregate_profiles(profile_dir: Optional[Union[str, Path]],
+                       parent: Optional[cProfile.Profile] = None,
+                       ) -> Tuple[Optional[pstats.Stats], int]:
+    """Merge worker dumps (and the parent profile) into one Stats.
+
+    Returns ``(stats, dump_count)`` — ``stats`` is None when there is
+    nothing to aggregate.  Unreadable dumps (a worker killed mid-write)
+    are skipped, not fatal.
+    """
+    stats: Optional[pstats.Stats] = None
+    if parent is not None:
+        stats = pstats.Stats(parent, stream=io.StringIO())
+    dumps = 0
+    if profile_dir is not None:
+        for path in sorted(Path(profile_dir).glob("*.pstats")):
+            try:
+                if stats is None:
+                    stats = pstats.Stats(str(path),
+                                         stream=io.StringIO())
+                else:
+                    stats.add(str(path))
+            except Exception:  # torn dump from a killed worker
+                continue
+            dumps += 1
+    return stats, dumps
+
+
+def write_profile_report(stats: pstats.Stats,
+                         path: Union[str, Path]) -> Path:
+    """Persist the merged profile as one binary pstats file.
+
+    Load it back with ``python -m pstats <path>`` or
+    ``pstats.Stats(str(path))``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    stats.dump_stats(str(path))
+    return path
+
+
+def profile_summary(stats: pstats.Stats, top: int = 15) -> str:
+    """The merged profile's top functions by cumulative time, as text."""
+    stream = io.StringIO()
+    stats.stream = stream
+    stats.sort_stats("cumulative").print_stats(top)
+    return stream.getvalue().rstrip()
+
+
+__all__ = ["aggregate_profiles", "profile_summary",
+           "write_profile_report"]

@@ -1,0 +1,195 @@
+"""Live batch progress, driven purely by bus subscription.
+
+:class:`ProgressReporter` is one more subscriber on an
+:class:`~repro.obs.telemetry.EngineTelemetry` bus — it holds no engine
+references and the engine knows nothing about it, so it can never
+perturb scheduling or results.  On a TTY it redraws a single status
+line in place::
+
+    [7/24] ok=6 failed=1 running=4 retries=2 cache=67% eta=41s
+
+off a TTY (CI logs, redirected output) it degrades to a plain
+heartbeat: the same line, printed whole at most once per ``interval``
+seconds (plus a final summary from :meth:`close`), so logs stay
+readable and bounded no matter how large the batch.
+
+Counts come from the authoritative parent-side events (``JobQueued`` /
+``JobFinished``); ``running`` derives from worker-originated
+``JobStarted`` minus settled jobs, and the cache ratio from the
+streamed hit/miss events.  The ETA is the classic remaining × average
+seconds-per-settled-job estimate.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import IO, Optional
+
+from repro.obs.bus import EventBus
+from repro.obs.events import Event
+from repro.obs.telemetry import (
+    CacheHit,
+    CacheMiss,
+    JobFinished,
+    JobQueued,
+    JobRetry,
+    JobStarted,
+)
+
+#: Minimum seconds between TTY redraws (events can burst far faster
+#: than a terminal repaints usefully).
+_TTY_REDRAW = 0.1
+
+
+class ProgressReporter:
+    """Renders engine-batch progress from the event stream.
+
+    Args:
+        stream: Output stream (default ``sys.stderr`` — progress must
+            not contaminate parseable stdout).
+        interval: Heartbeat period in seconds when not on a TTY.
+        tty: Force TTY (in-place redraw) or non-TTY (heartbeat lines)
+            rendering; None autodetects via ``stream.isatty()``.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 interval: float = 5.0,
+                 tty: Optional[bool] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        if tty is None:
+            isatty = getattr(self.stream, "isatty", None)
+            tty = bool(isatty()) if callable(isatty) else False
+        self.tty = tty
+        self.total = 0
+        self.started = 0
+        self.ok = 0
+        self.failed = 0
+        self.timed_out = 0
+        self.cancelled = 0
+        self.retries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._lock = threading.Lock()
+        self._t0: Optional[float] = None
+        self._last_render: Optional[float] = None
+        self._drew_line = False
+        self._bus: Optional[EventBus] = None
+
+    # ------------------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "ProgressReporter":
+        """Subscribe to the engine events on ``bus``."""
+        bus.subscribe(self._on_event, JobQueued, JobStarted, JobRetry,
+                      JobFinished, CacheHit, CacheMiss)
+        self._bus = bus
+        return self
+
+    def close(self) -> None:
+        """Detach and print the final summary line."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self._on_event)
+            self._bus = None
+        with self._lock:
+            line = self._line()
+            if self.tty and self._drew_line:
+                self.stream.write("\r" + line + "\n")
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        """Jobs that reached a terminal state."""
+        return self.ok + self.failed + self.timed_out + self.cancelled
+
+    @property
+    def running(self) -> int:
+        """Jobs observed started but not yet settled (best effort)."""
+        return max(self.started - self.done, 0)
+
+    def _on_event(self, event: Event) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if self._t0 is None:
+                self._t0 = now
+            terminal = False
+            if isinstance(event, JobQueued):
+                self.total += 1
+            elif isinstance(event, JobStarted):
+                self.started += 1
+            elif isinstance(event, JobRetry):
+                self.retries += 1
+            elif isinstance(event, JobFinished):
+                terminal = True
+                if event.status == "ok":
+                    self.ok += 1
+                elif event.status == "failed":
+                    self.failed += 1
+                elif event.status == "timed_out":
+                    self.timed_out += 1
+                else:
+                    self.cancelled += 1
+            elif isinstance(event, CacheHit):
+                self.cache_hits += 1
+            elif isinstance(event, CacheMiss):
+                self.cache_misses += 1
+            self._maybe_render(now, terminal)
+
+    # ------------------------------------------------------------------
+    # rendering (lock held)
+    # ------------------------------------------------------------------
+
+    def _maybe_render(self, now: float, terminal: bool) -> None:
+        # TTY: redraw on a short throttle, and always on a settled job
+        # (in-place updates are cheap).  Non-TTY: strictly one
+        # heartbeat line per interval; close() prints the summary.
+        # The very first event always renders.
+        period = _TTY_REDRAW if self.tty else self.interval
+        if self._last_render is not None \
+                and now - self._last_render < period \
+                and not (self.tty and terminal):
+            return
+        self._last_render = now
+        line = self._line()
+        if self.tty:
+            self.stream.write("\r\x1b[K" + line)
+            self._drew_line = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def _line(self) -> str:
+        parts = [f"[{self.done}/{self.total}]", f"ok={self.ok}"]
+        if self.failed:
+            parts.append(f"failed={self.failed}")
+        if self.timed_out:
+            parts.append(f"timed_out={self.timed_out}")
+        if self.cancelled:
+            parts.append(f"cancelled={self.cancelled}")
+        parts.append(f"running={self.running}")
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        requests = self.cache_hits + self.cache_misses
+        if requests:
+            ratio = 100.0 * self.cache_hits / requests
+            parts.append(f"cache={ratio:.0f}%")
+        eta = self._eta()
+        if eta is not None:
+            parts.append(f"eta={eta:.0f}s")
+        return " ".join(parts)
+
+    def _eta(self) -> Optional[float]:
+        if self._t0 is None or not self.done or self.done >= self.total:
+            return None
+        elapsed = time.monotonic() - self._t0
+        return elapsed / self.done * (self.total - self.done)
+
+
+__all__ = ["ProgressReporter"]

@@ -1,11 +1,18 @@
 """Persistent run-cache behaviour: round trips, corruption, atomicity."""
 
+import logging
 import os
 import pickle
 
 
 from repro.core.techniques import Technique, TechniqueConfig
 from repro.engine.cache import RunCache
+from repro.obs.telemetry import (
+    CacheEvicted,
+    CacheHit,
+    CacheMiss,
+    CacheSwept,
+)
 from repro.engine.jobs import (
     SimJob,
     execute_job,
@@ -157,6 +164,88 @@ class TestSizeCap:
             cache.put("results", f"k{i}", bytes(1000))
         assert scans == []  # size tracked incrementally, O(1) per put
         assert cache.evictions == 0
+
+
+class TestCacheTelemetry:
+    """The listener seam: every cache disposition becomes an event."""
+
+    def test_hit_and_plain_miss_events(self, tmp_path):
+        seen = []
+        cache = RunCache(tmp_path, listener=seen.append)
+        cache.put("results", "key", 1)
+        cache.get("results", "key")
+        cache.get("results", "absent")
+        assert [type(e).__name__ for e in seen] \
+            == ["CacheHit", "CacheMiss"]
+        hit, miss = seen
+        assert isinstance(hit, CacheHit)
+        assert (hit.group, hit.key) == ("results", "key")
+        assert hit.worker  # stamped with the process name
+        assert isinstance(miss, CacheMiss)
+        assert miss.key == "absent"
+        assert not miss.corrupt
+
+    def test_corrupt_entry_event_and_counter(self, tmp_path):
+        seen = []
+        cache = RunCache(tmp_path, listener=seen.append)
+        cache.put("results", "key", list(range(100)))
+        corrupt_cache_entry(cache, "results", "key", mode="flip")
+        assert cache.get("results", "key") is None
+        assert cache.corrupt_misses == 1
+        assert isinstance(seen[-1], CacheMiss)
+        assert seen[-1].corrupt
+
+    def test_eviction_event_counts_entries_and_bytes(self, tmp_path):
+        seen = []
+        cache = RunCache(tmp_path, max_bytes=2500,
+                         listener=seen.append)
+        for i, key in enumerate(("a", "b", "c")):
+            cache.put("results", key, bytes(1000))
+            stamp = 1000.0 + i
+            os.utime(cache.path("results", key), (stamp, stamp))
+        evicted = [e for e in seen if isinstance(e, CacheEvicted)]
+        assert evicted
+        assert sum(e.entries for e in evicted) == cache.evictions >= 1
+        assert all(e.bytes > 0 for e in evicted)
+
+    def test_sweep_event_reports_removed_orphans(self, tmp_path):
+        RunCache(tmp_path).put("results", "live", 1)
+        plant_stale_tmp(tmp_path, age_seconds=7200.0)
+        seen = []
+        RunCache(tmp_path, listener=seen.append)  # opening sweeps
+        swept = [e for e in seen if isinstance(e, CacheSwept)]
+        assert len(swept) == 1
+        assert swept[0].removed == 1
+
+    def test_janitor_sweep_logs_a_summary(self, tmp_path, caplog):
+        RunCache(tmp_path).put("results", "live", 1)
+        plant_stale_tmp(tmp_path, age_seconds=7200.0)
+        with caplog.at_level(logging.INFO, logger="repro.engine.cache"):
+            RunCache(tmp_path)
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("swept 1 stale tmp file(s)" in m for m in messages)
+
+    def test_eviction_logs_a_summary(self, tmp_path, caplog):
+        cache = RunCache(tmp_path, max_bytes=1500)
+        with caplog.at_level(logging.INFO, logger="repro.engine.cache"):
+            cache.put("results", "a", bytes(1000))
+            cache.put("results", "b", bytes(1000))
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("cache LRU cap: evicted" in m for m in messages)
+
+    def test_raising_listener_never_breaks_the_cache(self, tmp_path):
+        def explode(event):
+            raise RuntimeError("subscriber bug")
+
+        cache = RunCache(tmp_path, listener=explode)
+        cache.put("results", "key", {"cycles": 42})
+        assert cache.get("results", "key") == {"cycles": 42}
+        assert cache.get("results", "absent") is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_no_listener_is_the_default(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.listener is None  # zero-cost: one None check
 
 
 class TestTraceMemoisation:

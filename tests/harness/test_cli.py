@@ -218,6 +218,123 @@ class TestEngineFlags:
         assert "2 seeds" in capsys.readouterr().out
 
 
+class TestRunsCommand:
+    RUN_ARGS = ["--scale", "0.2", "--benchmarks", "hotspot",
+                "run", "hotspot", "baseline"]
+
+    def test_list_with_no_ledger(self, capsys):
+        assert main(["runs", "list"]) == 0
+        assert "no recorded runs" in capsys.readouterr().out
+
+    def test_show_unknown_run_exits_with_error(self):
+        with pytest.raises(SystemExit, match="no run matching"):
+            main(["runs", "show", "19990101"])
+
+    def test_list_and_show_after_a_run(self, capsys, tmp_path):
+        assert main(self.RUN_ARGS) == 0
+        capsys.readouterr()
+
+        assert main(["runs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "Run ledger" in out
+        rows = [line for line in out.splitlines()
+                if line and line[0].isdigit()]
+        assert rows  # every engine batch left a ledger
+        assert all("yes" in row for row in rows)  # all finished
+        run_id = rows[-1].split()[0]
+
+        assert main(["runs", "show", run_id]) == 0
+        shown = capsys.readouterr().out
+        assert f"run {run_id}" in shown
+        assert "hotspot" in shown and "baseline" in shown
+        assert "finished=yes" in shown
+
+        # Prefix lookup + raw JSON dump round-trip.
+        assert main(["runs", "show", run_id[:10], "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        kinds = [r["record"] for r in records]
+        assert kinds[0] == "batch" and kinds[-1] == "end"
+        jobs = [r for r in records if r["record"] == "job"]
+        assert jobs and all(r["status"] == "ok" for r in jobs)
+        assert all(r["spec_hash"] for r in jobs)
+
+    def test_show_ambiguous_prefix_exits_with_error(self, capsys):
+        # Two invocations -> two ledgers sharing the "2" prefix.
+        assert main(self.RUN_ARGS) == 0
+        assert main(self.RUN_ARGS) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="ambiguous"):
+            main(["runs", "show", "2"])
+
+
+class TestTelemetryFlags:
+    def test_progress_heartbeat_on_stderr(self, capsys):
+        code = main(["--progress", "--scale", "0.2",
+                     "--benchmarks", "hotspot",
+                     "run", "hotspot", "baseline"])
+        assert code == 0
+        captured = capsys.readouterr()
+        # The metrics table stays on stdout, untouched by progress.
+        assert "normalized_performance" in captured.out
+        final = captured.err.splitlines()[-1]
+        assert final.startswith("[") and "ok=" in final
+
+    def test_engine_events_and_trace_files(self, capsys, tmp_path):
+        events_path = tmp_path / "engine-events.jsonl"
+        trace_path = tmp_path / "engine-trace.json"
+        code = main(["--jobs", "2",
+                     "--engine-events", str(events_path),
+                     "--engine-trace", str(trace_path),
+                     "--scale", "0.2", "--benchmarks", "hotspot",
+                     "run", "hotspot", "warped_gates"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote {events_path}" in out
+        assert f"wrote {trace_path}" in out
+
+        from repro.obs.exporters import (load_jsonl_events,
+                                         validate_chrome_trace)
+        records = load_jsonl_events(events_path)
+        events = {r["event"] for r in records}
+        assert {"JobQueued", "JobStarted", "JobFinished",
+                "WorkerEventSummary"} <= events
+        document = json.loads(trace_path.read_text())
+        validate_chrome_trace(document)
+        assert document["otherData"]["workers"]
+
+    def test_profile_writes_aggregated_report(self, capsys, tmp_path):
+        # `run` simulates its cells as 1-job inline batches, so the
+        # report here merges 0 worker dumps (the parent profile still
+        # captures the simulation); the pooled worker-dump path is
+        # pinned by tests/obs TestWorkerProfiling.
+        code = main(["--jobs", "2", "--scale", "0.2",
+                     "--benchmarks", "hotspot",
+                     "run", "hotspot", "conv_pg", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The report prints after the manifests table, names the
+        # written pstats file and counts the merged worker dumps.
+        assert out.index("Run manifests") < out.index("profile report:")
+        report_line = next(line for line in out.splitlines()
+                           if line.startswith("profile report:"))
+        report_path = report_line.split()[2]
+        assert (tmp_path / report_path).exists()
+        assert "worker dump(s)" in report_line
+        import pstats
+        stats = pstats.Stats(str(tmp_path / report_path))
+        assert stats.total_calls > 0
+
+    def test_profile_report_linked_from_ledger(self, capsys, tmp_path):
+        assert main(["--scale", "0.2", "--benchmarks", "hotspot",
+                     "run", "hotspot", "baseline", "--profile"]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list"]) == 0
+        run_id = [line for line in capsys.readouterr().out.splitlines()
+                  if line and line[0].isdigit()][0].split()[0]
+        assert main(["runs", "show", run_id]) == 0
+        assert "profile report:" in capsys.readouterr().out
+
+
 class TestFaultFlags:
     def test_fault_flags_parse_with_defaults(self):
         args = build_parser().parse_args(["run", "hotspot", "baseline"])

@@ -1,0 +1,135 @@
+"""The --progress renderer: counts, heartbeat discipline, TTY redraws."""
+
+import io
+
+from repro.obs.bus import EventBus
+from repro.obs.progress import ProgressReporter
+from repro.obs.telemetry import (
+    CacheHit,
+    CacheMiss,
+    JobFinished,
+    JobQueued,
+    JobRetry,
+    JobStarted,
+)
+
+
+def _batch(bus, n=3, statuses=None):
+    statuses = statuses or ["ok"] * n
+    for i in range(n):
+        bus.publish(JobQueued.now(label=f"job{i}", index=i))
+    for i, status in enumerate(statuses):
+        bus.publish(JobStarted.now(label=f"job{i}", worker="w"))
+        bus.publish(JobFinished.now(label=f"job{i}", index=i,
+                                    status=status, attempts=1))
+
+
+def _wire(**kwargs):
+    bus = EventBus(enabled=True)
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream, **kwargs).attach(bus)
+    return bus, stream, reporter
+
+
+class TestCounts:
+    def test_terminal_states_are_tallied(self):
+        bus, stream, reporter = _wire(interval=3600.0, tty=False)
+        _batch(bus, n=4, statuses=["ok", "failed", "timed_out",
+                                   "cancelled"])
+        assert reporter.total == 4
+        assert reporter.done == 4
+        assert reporter.ok == 1
+        assert reporter.failed == 1
+        assert reporter.timed_out == 1
+        assert reporter.cancelled == 1
+        assert reporter.running == 0
+        reporter.close()
+        line = stream.getvalue().splitlines()[-1]
+        assert line.startswith("[4/4] ok=1 failed=1 timed_out=1 "
+                               "cancelled=1")
+
+    def test_running_derives_from_started_minus_done(self):
+        bus, _, reporter = _wire(interval=3600.0, tty=False)
+        bus.publish(JobQueued.now(label="a", index=0))
+        bus.publish(JobQueued.now(label="b", index=1))
+        bus.publish(JobStarted.now(label="a", worker="w"))
+        assert reporter.running == 1
+        bus.publish(JobFinished.now(label="a", index=0, status="ok"))
+        assert reporter.running == 0
+        reporter.close()
+
+    def test_retries_and_cache_ratio_render(self):
+        bus, stream, reporter = _wire(interval=3600.0, tty=False)
+        _batch(bus, n=2)
+        bus.publish(JobRetry.now(label="job0", index=0, attempt=1,
+                                 reason="failed"))
+        bus.publish(CacheHit.now(group="results", key="k", worker="w"))
+        bus.publish(CacheHit.now(group="results", key="j", worker="w"))
+        bus.publish(CacheMiss.now(group="results", key="m", worker="w"))
+        reporter.close()
+        final = stream.getvalue().splitlines()[-1]
+        assert "retries=1" in final
+        assert "cache=67%" in final
+
+
+class TestHeartbeat:
+    def test_non_tty_is_interval_gated(self):
+        # A huge interval: the first event prints one heartbeat, every
+        # later event is throttled; close() adds the final summary.
+        bus, stream, reporter = _wire(interval=3600.0, tty=False)
+        _batch(bus, n=5)
+        reporter.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[-1].startswith("[5/5] ok=5")
+        assert "\r" not in stream.getvalue()
+
+    def test_zero_interval_prints_per_event(self):
+        bus, stream, reporter = _wire(interval=0.0, tty=False)
+        _batch(bus, n=2)
+        reporter.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 7  # 6 events + final summary
+        assert lines[-1].startswith("[2/2]")
+
+
+class TestTTY:
+    def test_redraws_in_place_with_erase(self):
+        bus, stream, reporter = _wire(tty=True)
+        _batch(bus, n=2)
+        reporter.close()
+        output = stream.getvalue()
+        assert "\r\x1b[K" in output  # in-place redraw
+        assert output.endswith("\n")  # close() terminates the line
+        assert output.splitlines()[-1].lstrip("\r").startswith("[2/2]")
+
+    def test_autodetects_non_tty_streams(self):
+        reporter = ProgressReporter(stream=io.StringIO())
+        assert reporter.tty is False
+
+
+class TestEta:
+    def test_eta_appears_mid_batch_only(self):
+        bus, _, reporter = _wire(interval=3600.0, tty=False)
+        for i in range(4):
+            bus.publish(JobQueued.now(label=f"j{i}", index=i))
+        assert reporter._eta() is None  # nothing settled yet
+        bus.publish(JobFinished.now(label="j0", index=0, status="ok"))
+        eta = reporter._eta()
+        assert eta is not None and eta >= 0.0
+        assert "eta=" in reporter._line()
+        for i in range(1, 4):
+            bus.publish(JobFinished.now(label=f"j{i}", index=i,
+                                        status="ok"))
+        assert reporter._eta() is None  # done == total
+        reporter.close()
+
+
+class TestDetach:
+    def test_close_unsubscribes(self):
+        bus, stream, reporter = _wire(interval=0.0, tty=False)
+        _batch(bus, n=1)
+        reporter.close()
+        size = len(stream.getvalue())
+        _batch(bus, n=1)  # after close: no subscriber, no output
+        assert len(stream.getvalue()) == size
