@@ -149,6 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="spec_file",
                          help="run a technique defined by a JSON spec "
                               "file instead of a registered name")
+    run_cmd.add_argument("--n-sms", type=int, default=1, metavar="N",
+                         help="run at device scale on N SMs (kernel "
+                              "warps split round-robin, shared "
+                              "memory-side contention; 15 = the "
+                              "gtx480 preset's chip)")
     run_cmd.add_argument("--emit-events", metavar="PATH", default=None,
                          help="write the run's event stream as JSONL")
     run_cmd.add_argument("--emit-chrome-trace", metavar="PATH",
@@ -208,8 +213,9 @@ def build_parser() -> argparse.ArgumentParser:
         "spec", help="inspect or validate technique specs")
     spec_sub = spec_cmd.add_subparsers(dest="spec_command", required=True)
     show_cmd = spec_sub.add_parser(
-        "show", help="print a registered technique's spec as JSON")
-    show_cmd.add_argument("name", type=_technique_name)
+        "show", help="print a registered technique's spec (or a device "
+                     "preset, e.g. gtx480) as JSON")
+    show_cmd.add_argument("name", type=_spec_or_preset_name)
     validate_cmd = spec_sub.add_parser(
         "validate", help="check a JSON spec file against the schema")
     validate_cmd.add_argument("path", help="spec JSON path")
@@ -227,6 +233,21 @@ def _technique_name(name: str) -> str:
     if name not in technique_names():
         raise argparse.ArgumentTypeError(
             str(unknown_name_error("technique", name, technique_names())))
+    return name
+
+
+def _spec_or_preset_name(name: str) -> str:
+    """Argparse ``type`` hook: a technique name or a device preset.
+
+    ``repro spec show`` serves both registries; the did-you-mean
+    suggestion draws from their union so ``gtx48`` points at
+    ``gtx480`` and ``warped_gate`` at ``warped_gates``.
+    """
+    from repro.core.device import device_preset_names
+    known = tuple(technique_names()) + device_preset_names()
+    if name not in known:
+        raise argparse.ArgumentTypeError(
+            str(unknown_name_error("spec", name, known)))
     return name
 
 
@@ -485,6 +506,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             "error: give exactly one of a technique name or --spec FILE")
     spec = (_load_spec_file(args.spec_file) if args.spec_file
             else technique_spec(args.technique))
+    if args.n_sms > 1:
+        return _run_device(args, spec)
 
     instrument = bool(args.emit_events or args.emit_chrome_trace)
     bus = EventBus(enabled=instrument) if instrument else None
@@ -540,6 +563,48 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"{m.cycles_per_sec:,.0f}"]
              for m in runner.manifests],
             title="Run manifests"))
+    return 0
+
+
+def _run_device(args: argparse.Namespace, spec) -> int:
+    """``repro run --n-sms N``: one kernel at device scale.
+
+    The kernel's warps are split round-robin over N SMs; the shared
+    memory side inflates every SM's DRAM latency by the deterministic
+    contention factor before the fan-out.  With ``--jobs > 1`` the
+    independent SM parts execute on the parallel engine (results are
+    bit-identical to the serial order).  The chip-level table reports
+    the Figure 1b aggregation: per-domain static savings summed over
+    every SM's gating domains.
+    """
+    from repro.core.device import MemorySideConfig
+    from repro.engine.jobs import load_or_build_kernel
+    from repro.sim.gpu import GPU
+    from repro.workloads.specs import get_profile
+
+    if args.emit_events or args.emit_chrome_trace:
+        raise SystemExit("error: --emit-events/--emit-chrome-trace "
+                         "instrument a single SM; drop --n-sms")
+    kernel = load_or_build_kernel(args.benchmark, args.seed, args.scale)
+    gpu = GPU(args.n_sms, config=spec,
+              dram_latency=get_profile(args.benchmark).dram_latency,
+              memory_side=MemorySideConfig(),
+              fast_forward=not args.no_fast_forward)
+    engine = _engine(args) if args.jobs > 1 else None
+    result = gpu.run(kernel, engine=engine)
+    breakdown = result.energy_breakdown(bet=spec.gating.bet)
+    rows = [
+        ("device_cycles", result.cycles),
+        ("instructions", result.total_instructions),
+        ("sms_used", len(result.sm_results)),
+        ("int_static_savings",
+         format_fraction(breakdown[ExecUnitKind.INT].static_savings)),
+        ("fp_static_savings",
+         format_fraction(breakdown[ExecUnitKind.FP].static_savings)),
+    ]
+    print(format_table(("metric", "value"), rows,
+                       title=f"{args.benchmark} / {spec.name} "
+                             f"@ {args.n_sms} SMs"))
     return 0
 
 
@@ -710,9 +775,14 @@ def cmd_runs(args: argparse.Namespace) -> int:
 def cmd_spec(args: argparse.Namespace) -> int:
     """Inspect (``show``) or check (``validate``) technique specs."""
     if args.spec_command == "show":
-        spec = technique_spec(args.name)
-        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
-        print(f"spec_hash: {spec.spec_hash()}", file=sys.stderr)
+        if args.name in technique_names():
+            spec = technique_spec(args.name)
+            print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+            print(f"spec_hash: {spec.spec_hash()}", file=sys.stderr)
+            return 0
+        from repro.core.device import device_preset
+        preset = device_preset(args.name)
+        print(json.dumps(preset.to_dict(), indent=2, sort_keys=True))
         return 0
     spec = _load_spec_file(args.path)  # exits non-zero with the reason
     print(f"{args.path}: ok — technique {spec.name!r}, "

@@ -1,0 +1,145 @@
+"""Full-chip (device) configuration layer and named presets.
+
+The paper evaluates a GTX480: 15 SMs sharing six GDDR5 memory
+partitions (section 7.1).  Everything the per-SM model reproduces —
+schedulers, gating domains, idle distributions — lives *inside* an SM,
+but the chip-level numbers (Figure 1b's breakdown, the section 7.3
+savings estimate) are aggregates over the full device, so the harness
+needs a first-class notion of "the chip": how many SMs, what each SM
+looks like, and what the shared memory side does when all of them are
+live at once.
+
+:class:`GPUConfig` is that notion.  It composes the existing
+:class:`~repro.sim.config.SMConfig` (one entry per chip — SMs are
+homogeneous) with a :class:`MemorySideConfig` capturing the only
+cross-SM interaction the model carries: bandwidth contention inflating
+DRAM latency.  Presets are registered by name in :data:`DEVICE_PRESETS`
+and resolved through :func:`device_preset`, which reports unknown names
+with the same difflib did-you-mean shape as the technique registry.
+
+Design constraint: the memory-side model must be **neutral for a
+single-SM device** (``effective_dram_latency(base, 1) == base``), so
+every previously pinned single-SM golden digest survives the device
+layer unchanged, and SMs stay mutually independent — contention is a
+deterministic function of the *number of active SMs*, computed once
+before the fan-out, never of runtime traffic.  That keeps per-SM parts
+picklable and the parallel engine path bit-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.spec import unknown_name_error
+from repro.sim.config import SMConfig
+
+
+@dataclass(frozen=True)
+class MemorySideConfig:
+    """Shared memory-side model: first-order bandwidth contention.
+
+    A single SM never saturates the device's memory partitions, but 15
+    of them do; queueing at the partitions shows up to each SM as
+    longer effective miss latency.  We model that with a first-order
+    M/D/1-flavoured inflation: each active SM beyond the first adds
+    ``queue_alpha / n_partitions`` of the base latency.
+
+    Attributes:
+        n_partitions: Memory partitions (GDDR5 channels) shared by the
+            SMs; GTX480 has six.
+        queue_alpha: Queueing sensitivity — fraction of the base DRAM
+            latency added per contending SM per partition.  0 disables
+            contention entirely (every SM sees the base latency).
+    """
+
+    n_partitions: int = 6
+    queue_alpha: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        if self.queue_alpha < 0:
+            raise ValueError("queue_alpha must be >= 0")
+
+    def effective_dram_latency(self, base: int, n_active_sms: int) -> int:
+        """DRAM latency one SM observes with ``n_active_sms`` live.
+
+        Deterministic, monotonic in ``n_active_sms``, and exactly
+        ``base`` for a lone SM — the neutrality the single-SM golden
+        digests rely on.  The result is floored to an integer cycle
+        count (the memory model is integer-cycled throughout).
+        """
+        if n_active_sms < 1:
+            raise ValueError("n_active_sms must be >= 1")
+        factor = 1.0 + self.queue_alpha * (n_active_sms - 1) \
+            / self.n_partitions
+        return int(base * factor)
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """One full chip: N homogeneous SMs plus the shared memory side.
+
+    Attributes:
+        name: Preset identity (appears in manifests and bench rows).
+        n_sms: Streaming multiprocessors on the chip.
+        sm: Structural parameters of every SM (homogeneous).
+        memory_side: Cross-SM bandwidth-contention model.
+    """
+
+    name: str = "gtx480"
+    n_sms: int = 15
+    sm: SMConfig = field(default_factory=SMConfig)
+    memory_side: MemorySideConfig = field(default_factory=MemorySideConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_sms < 1:
+            raise ValueError("n_sms must be >= 1")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-friendly form (``repro spec show <preset>``)."""
+        sm = self.sm
+        return {
+            "kind": "device_preset",
+            "name": self.name,
+            "n_sms": self.n_sms,
+            "sm": {
+                "n_sp_clusters": sm.n_sp_clusters,
+                "issue_width": sm.issue_width,
+                "fetch_width": sm.fetch_width,
+                "ibuffer_entries": sm.ibuffer_entries,
+                "max_resident_warps": sm.max_resident_warps,
+            },
+            "memory_side": {
+                "n_partitions": self.memory_side.n_partitions,
+                "queue_alpha": self.memory_side.queue_alpha,
+            },
+        }
+
+
+#: Registered full-chip presets.  ``gtx480`` is the paper's evaluation
+#: platform (section 7.1): 15 Fermi SMs, 6 memory partitions.
+DEVICE_PRESETS: Dict[str, GPUConfig] = {
+    "gtx480": GPUConfig(name="gtx480", n_sms=15, sm=SMConfig(),
+                        memory_side=MemorySideConfig()),
+}
+
+
+def device_preset_names() -> tuple:
+    """Registered device-preset names, sorted."""
+    return tuple(sorted(DEVICE_PRESETS))
+
+
+def device_preset(name: str) -> GPUConfig:
+    """Resolve a device preset by name.
+
+    Raises ValueError with a difflib did-you-mean suggestion for
+    unknown names — same contract as the technique registry's
+    resolvers.
+    """
+    try:
+        return DEVICE_PRESETS[name]
+    except KeyError:
+        raise unknown_name_error("device preset", name,
+                                 DEVICE_PRESETS) from None

@@ -285,12 +285,44 @@ class SMPartJob:
     fast_forward: bool = True
 
 
+def sm_part_label(job: SMPartJob) -> str:
+    """Telemetry label for one SM part: ``kernel#smN/technique``.
+
+    The part trace already carries its SM id in the name (the splitter
+    suffixes ``#smN``), so live progress distinguishes the fifteen
+    parts of one device launch the same way grid cells are told apart.
+    """
+    return f"{job.part.name}/{as_spec(job.config).name}"
+
+
 def execute_sm_part(job: SMPartJob) -> SimResult:
-    """Run one SM part (top-level, hence picklable)."""
+    """Run one SM part (top-level, hence picklable).
+
+    Mirrors :func:`execute_job`'s telemetry contract: with worker
+    telemetry installed, the part runs inside a job session —
+    :class:`~repro.obs.telemetry.JobStarted` on entry, a
+    :class:`~repro.obs.telemetry.WorkerEventSummary` on completion —
+    so device-scale fan-outs appear in live progress and the run
+    ledger like any other batch.  Without telemetry it is exactly the
+    bare simulation.
+    """
+    telemetry = current_worker()
+    if telemetry is None:
+        return _run_sm_part(job, None)
+    with telemetry.profile_job():
+        return _run_sm_part(job, telemetry.job_session(sm_part_label(job)))
+
+
+def _run_sm_part(job: SMPartJob,
+                 session: Optional[JobTelemetry]) -> SimResult:
     sm = build_sm(job.part, job.config, sm_config=job.sm_config,
                   dram_latency=job.dram_latency,
+                  bus=session.sim_bus() if session is not None else None,
                   fast_forward=job.fast_forward)
-    return sm.run()
+    result = sm.run()
+    if session is not None:
+        session.finish(cycles=result.cycles)
+    return result
 
 
 # Re-exported so callers annotating AdaptiveConfig overrides don't need
@@ -302,6 +334,7 @@ __all__ = [
     "SimJob",
     "execute_job",
     "execute_sm_part",
+    "sm_part_label",
     "failure_manifest",
     "load_or_build_kernel",
     "outcome_from_report",

@@ -248,6 +248,43 @@ class GatingDomain:
         self.stats.on_cycles += span
         self.idle_counter += span
 
+    def next_busy_event(self, cycle: int):
+        """Next state-changing cycle while the pipeline stays *busy*.
+
+        Busy-span counterpart of :meth:`next_idle_event`: with work in
+        flight the controller observes ``pipeline_busy=True`` every
+        cycle, which pins the idle counter at zero and makes ON-state
+        behaviour time-invariant — only a wake completing can change
+        anything.  (The busy->idle edge itself is the caller's bound:
+        the planner never lets a span cross the pipeline's
+        ``busy_until`` watermark.)  Returns ``None`` when no event is
+        possible, or ``cycle`` itself for the busy-while-gated state
+        the serial ``observe`` treats as a hard error — forcing a real
+        step reproduces that error at the exact serial cycle.
+        """
+        if self._gated_since is not None:
+            return cycle
+        if cycle < self._wake_done:
+            return self._wake_done
+        return None
+
+    def skip_busy_cycles(self, cycle: int, span: int) -> None:
+        """Account ``span`` provably-busy cycles starting at ``cycle``.
+
+        Equivalent to ``span`` calls of ``observe(c, True)`` under the
+        planner's guarantee that the pipeline stays busy and no wake
+        completes inside the span: waking cycles accrue, or ON cycles
+        accrue with the idle counter pinned at zero.
+        """
+        if self._gated_since is not None:
+            raise RuntimeError(
+                f"{self.name}: pipeline busy while gated at {cycle}")
+        if cycle < self._wake_done:
+            self.stats.waking_cycles += span
+            return
+        self.stats.on_cycles += span
+        self.idle_counter = 0
+
     # ------------------------------------------------------------------
     # scheduler-facing actions
     # ------------------------------------------------------------------

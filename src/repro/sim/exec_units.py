@@ -188,6 +188,22 @@ class ExecPipeline:
         """Exit cycle of the oldest in-flight instruction, if any."""
         return self._in_flight[0][0] if self._in_flight else None
 
+    def next_state_change(self, cycle: int) -> Optional[int]:
+        """Next cycle at which this pipeline acts on the outside world.
+
+        For the fast-forward planner: absent new issues, the only
+        externally visible pipeline event is a completion draining
+        (retire / memory hand-off / scoreboard resolution), so this is
+        the oldest in-flight exit cycle.  Port releases are *not*
+        events — with no ready warp there are no issue attempts, and
+        the port check at a span-ending cycle derives from the stored
+        ``_port_free_at`` timestamp.  Returns ``None`` when nothing is
+        in flight; a return ``<= cycle`` means a drain is due now and
+        the cycle must be real-stepped.
+        """
+        flight = self._in_flight
+        return flight[0][0] if flight else None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ExecPipeline({self.name}, ii={self.initiation_interval}, "
                 f"in_flight={len(self._in_flight)})")

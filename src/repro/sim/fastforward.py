@@ -1,30 +1,45 @@
-"""Idle-cycle fast-forward for the SM main loop.
+"""Quiescent-span fast-forward for the SM main loop.
 
-GPGPU workloads under power gating spend long stretches with every
-resident warp stalled on a known-latency event — an outstanding DRAM
-round trip, a producer a fixed number of cycles from writeback, a gated
-unit counting down its break-even time.  Stepping those cycles one by
-one does no architectural work: fetch buffers are full, the issue stage
-finds nothing ready, the pipelines are empty, and the only state drift
-is bulk-replayable accounting (idle counters, round-robin pointers,
-cycle counts).
+GPGPU workloads spend long stretches on cycles where the step functions
+do no *decision* work — and not only while idle.  Two span families
+qualify:
 
-:class:`IdleFastForwarder` detects such spans and jumps the clock over
-them.  The design rule that makes bit-identity easy to argue is that
-**every cycle on which anything interesting can happen is real-stepped**
+* **Idle spans** — every resident warp stalled on a known-latency
+  event: an outstanding DRAM round trip, a producer a fixed number of
+  cycles from writeback, a gated unit counting down its break-even
+  time.  Fetch buffers are full, nothing issues, the pipelines are
+  empty.
+* **Busy spans** — work is in flight but its outcome is already
+  determined: long-latency pipelines draining toward known completion
+  cycles, the ready set empty, fetch quiescent, every scoreboard head
+  with a known writeback bound.  Each such cycle the issue stage walks
+  an empty ready list and the gating controllers observe "busy" —
+  state drift that is bulk-replayable arithmetic.
+
+:class:`SpanFastForwarder` detects both and jumps the clock over them.
+The design rule that makes bit-identity easy to argue is that **every
+cycle on which anything interesting can happen is real-stepped**
 through the ordinary ``_step`` path; only provably-quiet maximal
 sub-spans are skipped.  "Interesting" cycles are collected as a lower
-bound from every stateful component:
+bound from every stateful component, each reporting its next
+*state-changing* cycle:
 
+* execution pipelines — the oldest in-flight completion
+  (:meth:`ExecPipeline.next_state_change`); a drain triggers retires,
+  memory accesses and scoreboard resolution, so it always ends a span;
 * memory — the earliest scheduled load delivery or line fill
   (:meth:`MemorySubsystem.next_completion_cycle`);
-* scoreboards — each active/pending head's producer writeback cycles
-  and pending-threshold crossings
-  (:meth:`Scoreboard.head_event_cycles`); an *unresolved* load blocks
-  skipping outright;
-* gating domains — gate taking effect, blackout expiry, wakeup
-  completion, and the policy's predicted gate-fire cycle
-  (:meth:`GatingDomain.next_idle_event`);
+* scoreboards — each head's cached absolute-cycle readiness summary
+  (:meth:`Scoreboard.head_status`): the ready flip at ``ready_at`` and
+  the pending-set exit at ``mem_until`` are the only cycles its
+  classification can change.  A head blocked on an *unresolved* load
+  pends until an LDST completion resolves it, so the LDST pipe's drain
+  bound covers it (no LDST work in flight forces a real step);
+* gating domains — while the attached pipeline is idle, gate taking
+  effect, blackout expiry, wakeup completion and the policy's
+  predicted gate-fire cycle (:meth:`GatingDomain.next_idle_event`);
+  while it is busy, the wake-completion edge and the pipeline's
+  busy-until watermark (:meth:`GatingDomain.next_busy_event`);
 * cycle hooks — e.g. the adaptive-epoch controller's epoch-closing
   cycle (``idle_next_event``); a hook without that method disables
   fast-forwarding entirely;
@@ -38,48 +53,84 @@ bound from every stateful component:
 
 When the minimum of those bounds lies beyond the current cycle, the
 span up to (but excluding) the bound is applied in bulk: gating-domain
-idle/waking counters, warp-population samples, no-ready-warp stall
+idle/waking/busy counters, warp-population samples, no-ready-warp stall
 counters, the fetch and scheduler round-robin pointers, and the cycle
 count all advance by exactly what ``span`` individual ``_step`` calls
 would have produced.  (The per-pipeline idle trackers need no bulk
 update at all: they accumulate busy/idle *spans* between absolute
-cycle marks, so a skipped stretch lands in the right idle period when
-the next issue — or the end-of-run flush — integrates it.)  The only
+cycle marks, so a skipped stretch lands in the right period when the
+next issue — or the end-of-run flush — integrates it.)  The only
 serial/fast-forward divergence is *internal* scoreboard garbage
 (completed producers are dropped at the next real writeback instead of
 every cycle), which is unobservable: a producer whose ready cycle has
 passed blocks nothing and classifies as nothing.
 
-Skipping statistics (``skipped_cycles``, ``skips``) live on the
-forwarder, *not* in the run's metrics — results stay byte-identical to
-serial runs by construction.
+Two cost controls keep the planner cheap on cycles it cannot skip:
+
+* the per-warp head scan reuses the SM's incremental classification
+  cache (``(popped, scoreboard version)``-stamped), optionally mirrored
+  into numpy arrays (:class:`repro.sim.vectorize.HeadStatusBatch`) so
+  the ready/pending/bound reductions run vectorised; and
+* a failed plan arms an exponential backoff (up to
+  :data:`PLAN_BACKOFF_CAP` cycles between attempts), so issue-bound
+  stretches degrade to a handful of attribute checks per cycle.
+  Planning *timing* cannot affect results — a missed span start only
+  shrinks the skipped span — so the backoff trades at most a few
+  cycles of coverage for plan cost, never correctness.
+
+Skipping statistics (``skipped_cycles``, ``skips``, ``plans``) live on
+the forwarder, *not* in the run's metrics — results stay byte-identical
+to serial runs by construction.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.isa.optypes import OpClass
+from repro.isa.optypes import ExecUnitKind, OpClass
 from repro.power.gating import GatingPolicy
-from repro.sim.sched.base import SchedulerView
+from repro.sim.sched.base import IssueCandidate, SchedulerView
+from repro.sim.vectorize import (HeadStatusBatch, OP_CLASSES,
+                                 numpy_available)
+
+#: Ceiling of the failed-plan backoff: after repeated failures the
+#: planner re-arms at most this many cycles later.  Tuned on the
+#: device-scale bench: tiny against the spans worth skipping (a DRAM
+#: round trip is hundreds of cycles), so the coverage loss stays in the
+#: low percent, while issue-bound stretches still shed most of the
+#: planning cost.
+PLAN_BACKOFF_CAP = 4
+
+#: Slot-count threshold below which the numpy batch costs more than the
+#: plain Python accumulation it replaces.
+BATCH_MIN_SLOTS = 16
 
 
-class IdleFastForwarder:
-    """Plans and applies idle-span skips for one SM run.
+class SpanFastForwarder:
+    """Plans and applies quiescent-span skips for one SM run.
 
     Built by :meth:`StreamingMultiprocessor.run` when fast-forwarding
     is requested, after all domains and hooks are attached.
     """
 
-    def __init__(self, sm) -> None:
+    def __init__(self, sm, use_numpy: Optional[bool] = None) -> None:
         self.sm = sm
         #: Cycles jumped over instead of stepped (diagnostics only).
         self.skipped_cycles = 0
         #: Number of skip spans applied.
         self.skips = 0
+        #: Number of planning attempts (diagnostics only).
+        self.plans = 0
         self._pending_count = 0
         self._view: Optional[SchedulerView] = None
+        self._next_plan = 0
+        self._backoff = 0
         self.supported = self._check_supported()
+        if use_numpy is None:
+            use_numpy = (numpy_available()
+                         and len(sm.warps) >= BATCH_MIN_SLOTS)
+        self._batch = (HeadStatusBatch(len(sm.warps))
+                       if self.supported and use_numpy else None)
 
     # ------------------------------------------------------------------
     # capability check (once per run)
@@ -121,12 +172,20 @@ class IdleFastForwarder:
         when no skip is possible).  On a skip, all bulk accounting for
         the span [cycle, returned) has been applied.
         """
-        if not self.supported:
+        if not self.supported or cycle < self._next_plan:
             return cycle
         target = self._plan(cycle)
         if target > cycle:
             self._apply(cycle, target)
+            self._backoff = 0
             return target
+        # Failed plan: back off exponentially.  Timing only moves span
+        # *starts* (a span begun mid-backoff is picked up at the next
+        # attempt), never what a skipped span replays.
+        backoff = self._backoff
+        self._next_plan = cycle + 1 + backoff
+        if backoff < PLAN_BACKOFF_CAP:
+            self._backoff = backoff + backoff if backoff else 1
         return cycle
 
     # ------------------------------------------------------------------
@@ -137,51 +196,32 @@ class IdleFastForwarder:
         """Return the earliest interesting cycle >= ``cycle``.
 
         Any return <= ``cycle`` means "step normally".  Ordered so the
-        cheap disqualifiers run first — on busy cycles this should cost
-        little more than a few attribute checks.
+        cheap disqualifiers run first — on unskippable cycles this
+        should cost little more than a few attribute checks.
         """
         sm = self.sm
+        self.plans += 1
         if sm.bus.enabled or sm._retry:
             return cycle
-        for pipe in sm.pipelines:
-            if pipe.is_busy(cycle):
-                return cycle
 
         config = sm.config
         bound: float = config.max_cycles
-        threshold = config.memory.pending_threshold
-        ibuffer_entries = sm.fetch.ibuffer_entries
-        view = SchedulerView()
-        actv = view.actv_counts
-        pending = 0
-        resident = 0
-        free_slot = False
 
-        for warp in sm.warps:
-            if not warp.occupied:
-                free_slot = True
-                continue
-            resident += 1
-            if warp.finished():
-                return cycle  # slot frees (and may refill) this cycle
-            exhausted = warp.trace_exhausted
-            if not exhausted and len(warp.ibuffer) < ibuffer_entries:
-                return cycle  # fetch still streams this warp
-            head = warp.head()
-            if head is None:
-                continue  # exhausted, draining outstanding work
-            events = warp.scoreboard.head_event_cycles(head, threshold)
-            if events is None:
-                return cycle  # unresolved load: latency unknown
-            if warp.scoreboard.blocking_memory(head, cycle, threshold):
-                pending += 1
-            else:
-                if warp.scoreboard.is_ready(head, cycle):
-                    return cycle  # issue will happen
-                actv[head.op_class] += 1
-            for event in events:
-                if cycle < event < bound:
-                    bound = event
+        # Pipeline completions: a drain due this cycle (retire, memory
+        # access, scoreboard resolution) forces a real step; later ones
+        # bound the span.  Port-release times need no bound — with no
+        # ready warp there are no issue attempts, and the structural
+        # check at the span-ending cycle derives from timestamps.
+        ldst_flight = False
+        for pipe in sm.pipelines:
+            nxt = pipe.next_state_change(cycle)
+            if nxt is not None:
+                if nxt <= cycle:
+                    return cycle
+                if nxt < bound:
+                    bound = nxt
+                if pipe.kind is ExecUnitKind.LDST:
+                    ldst_flight = True
 
         mem_event = sm.memory.next_completion_cycle()
         if mem_event <= cycle:
@@ -189,12 +229,120 @@ class IdleFastForwarder:
         if mem_event < bound:
             bound = mem_event
 
-        for domain in sm.domains.values():
-            event = domain.next_idle_event(cycle)
-            if event is None or event <= cycle:
+        threshold = config.memory.pending_threshold
+        ibuffer_entries = sm.fetch.ibuffer_entries
+        ages = sm._ages
+        all_cands = sm.scheduler.needs_all_candidates
+        batch = self._batch
+        view: Optional[SchedulerView] = None
+        actv = None
+        if batch is None:
+            view = SchedulerView()
+            actv = view.actv_counts
+        pending = 0
+        unresolved_any = False
+        resident = 0
+        free_slot = False
+
+        for warp in sm.warps:
+            if warp.trace is None:
+                free_slot = True
+                if batch is not None:
+                    batch.invalidate(warp.slot)
+                continue
+            resident += 1
+            if warp.finished():
+                return cycle  # slot frees (and may refill) this cycle
+            buf = warp.ibuffer
+            buffered = len(buf)
+            if buffered < ibuffer_entries \
+                    and warp.fetch_pc < warp.trace_len:
+                return cycle  # fetch still streams this warp
+            if not buffered:
+                if batch is not None:
+                    batch.invalidate(warp.slot)
+                continue  # exhausted, draining outstanding work
+            scoreboard = warp.scoreboard
+            popped = warp.fetch_pc - buffered
+            version = scoreboard.version
+            if popped != warp.cache_popped \
+                    or version != warp.cache_version:
+                # Same refresh as SM._classify — the planner and the
+                # issue stage share one memoised head summary.
+                head = buf[0]
+                (warp.head_ready_at, warp.head_mem_until,
+                 warp.head_unresolved) = scoreboard.head_status(
+                    head, threshold)
+                warp.cache_popped = popped
+                warp.cache_version = version
+                warp.head_inst = head
+                age = ages[warp.slot]
+                warp.cand_ready = IssueCandidate(warp.slot, age, head,
+                                                 True)
+                warp.cand_stalled = (
+                    IssueCandidate(warp.slot, age, head, False)
+                    if all_cands else None)
+            if batch is not None:
+                if not batch.is_fresh(warp.slot, popped, version):
+                    batch.update(warp.slot, popped, version,
+                                 warp.head_ready_at, warp.head_mem_until,
+                                 warp.head_unresolved,
+                                 warp.head_inst.op_class)
+                continue
+            if warp.head_unresolved:
+                pending += 1
+                unresolved_any = True
+            elif cycle < warp.head_mem_until:
+                # Pending until the threshold crossing; the ready flip
+                # lies strictly beyond it, so mem_until alone bounds.
+                pending += 1
+                if warp.head_mem_until < bound:
+                    bound = warp.head_mem_until
+            else:
+                if cycle >= warp.head_ready_at:
+                    return cycle  # issue will happen
+                actv[warp.head_inst.op_class] += 1
+                if warp.head_ready_at < bound:
+                    bound = warp.head_ready_at
+
+        if batch is not None:
+            (ready_any, pending, unresolved_any, actv_counts,
+             sb_bound) = batch.classify(cycle)
+            if ready_any:
                 return cycle
-            if event < bound:
-                bound = event
+            if sb_bound is not None and sb_bound < bound:
+                bound = sb_bound
+            view = SchedulerView()
+            actv = view.actv_counts
+            for index, count in enumerate(actv_counts.tolist()):
+                if count:
+                    actv[OP_CLASSES[index]] = count
+
+        if unresolved_any and not ldst_flight:
+            # An unresolved load with no LDST completion to bound its
+            # resolution (cannot happen outside retry pressure, which
+            # already bailed) — refuse rather than guess.
+            return cycle
+
+        for pipe, domain in sm._gated_pipes:
+            if cycle < pipe.busy_until:
+                # Busy throughout [cycle, busy_until): the controller
+                # observes "busy" each cycle, so only a wake completion
+                # (or the busy->idle edge itself) can change behaviour.
+                event = domain.next_busy_event(cycle)
+                if event is not None:
+                    if event <= cycle:
+                        return cycle
+                    if event < bound:
+                        bound = event
+                if pipe.busy_until < bound:
+                    bound = pipe.busy_until
+            else:
+                event = domain.next_idle_event(cycle)
+                if event is None or event <= cycle:
+                    return cycle
+                if event < bound:
+                    bound = event
 
         for hook in sm.hooks:
             event = hook.idle_next_event(cycle)
@@ -230,7 +378,7 @@ class IdleFastForwarder:
         """Account the quiet span [cycle, target) in bulk.
 
         Mirrors exactly what ``span`` ordinary ``_step`` calls would do
-        on a no-work cycle; see the module docstring for the argument
+        on a no-issue cycle; see the module docstring for the argument
         that each per-cycle stage reduces to these updates.
         """
         sm = self.sm
@@ -254,14 +402,26 @@ class IdleFastForwarder:
         stats.stalls.no_ready_warp += span * sm.config.issue_width
         sm.scheduler.skip_idle_cycles(span)
 
-        # stage 6: gating domains.  The idle trackers need no work at
-        # all here: they integrate busy/idle spans from absolute cycles
-        # at the next issue (or the end-of-run flush), so a skipped
-        # span lands in the right idle period automatically.
-        for _pipe, domain in sm._gated_pipes:
-            domain.skip_idle_cycles(cycle, span)
+        # stage 6: gating domains.  Busy pipelines pin the idle counter
+        # at zero for the whole span (the span never crosses their
+        # busy->idle edge — busy_until bounds it); idle ones accrue
+        # idle cycles exactly as serial observation would.  The idle
+        # trackers need no work at all here: they integrate busy/idle
+        # spans from absolute cycles at the next issue (or the
+        # end-of-run flush), so a skipped span lands in the right
+        # period automatically.
+        for pipe, domain in sm._gated_pipes:
+            if cycle < pipe.busy_until:
+                domain.skip_busy_cycles(cycle, span)
+            else:
+                domain.skip_idle_cycles(cycle, span)
 
         stats.cycles += span
         self.skipped_cycles += span
         self.skips += 1
         self._view = None
+
+
+#: Backwards-compatible alias — PR 4 shipped the idle-only forwarder
+#: under this name and external scripts may still import it.
+IdleFastForwarder = SpanFastForwarder

@@ -201,6 +201,16 @@ class Scoreboard:
         recorded or resolved (both bump :attr:`version`), never with the
         passage of time.  Completed-producer cleanup keeps it valid too:
         a dropped producer can only lower the (already passed) bounds.
+
+        The summary doubles as the scoreboard's next-state-change report
+        for the fast-forward planner: while :attr:`version` holds, the
+        *only* cycles at which this head's classification can move are
+        ``mem_until`` (pending set -> active set) and ``ready_at`` (the
+        ready flip, always past ``mem_until`` for a memory-blocked
+        head), so those two bounds are exactly what a quiescent span
+        must not cross.  An ``unresolved`` head pends until an LDST
+        completion resolves it — an event the pipeline drain bounds
+        already cover.
         """
         ready_at = 0
         mem_until = 0
@@ -223,34 +233,6 @@ class Scoreboard:
                     if limit > mem_until:
                         mem_until = limit
         return ready_at, mem_until, unresolved
-
-    # ------------------------------------------------------------------
-    # fast-forward support
-    # ------------------------------------------------------------------
-
-    def head_event_cycles(self, inst: Instruction,
-                          pending_threshold: int):
-        """Cycles at which ``inst``'s readiness/classification can change.
-
-        For the idle fast-forward planner: returns the list of future
-        cycles where a producer of ``inst`` writes back (flipping the
-        ready bit) or crosses the pending threshold (moving the warp
-        between the pending and active sets).  Returns ``None`` when any
-        producer is UNRESOLVED — its completion time is unknown, so the
-        planner must not skip (in practice an unresolved load is resolved
-        by the LDST pipe within a real-stepped cycle or two).
-        """
-        events = []
-        for reg in self._operand_registers(inst):
-            producer = self._busy.get(reg)
-            if producer is None:
-                continue
-            if producer.ready_cycle == UNRESOLVED:
-                return None
-            events.append(producer.ready_cycle)
-            if producer.is_memory:
-                events.append(producer.ready_cycle - pending_threshold)
-        return events
 
     # ------------------------------------------------------------------
     # introspection (debug-only: never called from the cycle loop)

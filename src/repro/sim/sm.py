@@ -239,10 +239,11 @@ class StreamingMultiprocessor:
         self._retry: List[Tuple[int, Instruction]] = []
         self._ran = False
         self._kernel_index_seen = 0
-        #: When True, run() installs an IdleFastForwarder that jumps
-        #: over provably-quiet idle spans (bit-identical results; see
-        #: repro.sim.fastforward).  The forwarder is built lazily at run
-        #: time so domains and hooks attached after construction count.
+        #: When True, run() installs a SpanFastForwarder that jumps
+        #: over provably-quiescent idle *and* busy spans (bit-identical
+        #: results; see repro.sim.fastforward).  The forwarder is built
+        #: lazily at run time so domains and hooks attached after
+        #: construction count.
         self.fast_forward = fast_forward
         self._forwarder = None
         # --- hot-loop state (frozen by _prepare at run start) ---------
@@ -315,8 +316,8 @@ class StreamingMultiprocessor:
         self.scheduler.reset()
         self._prepare()
         if self.fast_forward:
-            from repro.sim.fastforward import IdleFastForwarder
-            self._forwarder = IdleFastForwarder(self)
+            from repro.sim.fastforward import SpanFastForwarder
+            self._forwarder = SpanFastForwarder(self)
         if self.bus.enabled:
             self.bus.publish(KernelBoundary(0, self.kernel.name, 0))
         cycle = 0

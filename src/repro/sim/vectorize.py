@@ -1,0 +1,141 @@
+"""Numpy-batched head-status scans for the fast-forward planner.
+
+The span planner's inner loop asks, for every resident warp, "how is
+your head instruction classified at this cycle, and at which future
+cycle can that classification change?"  All of that is answered by the
+per-warp incremental cache (``head_ready_at`` / ``head_mem_until`` /
+``head_unresolved``, see :meth:`repro.sim.scoreboard.Scoreboard.
+head_status`) — two absolute cycles and a flag per warp.
+
+:class:`HeadStatusBatch` mirrors those cached scalars into slot-indexed
+numpy arrays so the planner's *reductions* — ready-warp detection,
+active/pending counting per op class, and the min over the next
+state-changing cycles — run as a handful of vector operations instead
+of a Python accumulation per warp.  Rows are refreshed incrementally:
+the planner writes a row only when the warp's ``(popped, scoreboard
+version)`` stamp moved, exactly the invalidation rule of the scalar
+cache, so a warp that sat still since the last plan costs two list
+lookups and no array traffic.
+
+The batch is an optional accelerator, not a second source of truth:
+:meth:`classify` must return byte-for-byte the same decision the
+planner's pure-Python fallback computes, and the fast-forward identity
+tests run both paths against the serial core.  When numpy is missing
+the planner simply never builds a batch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.optypes import OpClass
+
+try:  # pragma: no cover - exercised implicitly by the import outcome
+    import numpy as _np
+except ImportError:  # pragma: no cover - container always has numpy
+    _np = None
+
+#: Stable op-class indexing for the per-row class column.
+OP_CLASSES: Tuple[OpClass, ...] = tuple(OpClass)
+_OP_INDEX = {cls: i for i, cls in enumerate(OP_CLASSES)}
+
+#: Row states: no cached head (empty buffer / free slot), a fully
+#: resolved summary, or a head blocked on an unresolved load.
+NO_HEAD, KNOWN, UNRESOLVED = 0, 1, 2
+
+
+def numpy_available() -> bool:
+    """True when the batched scan can be built at all."""
+    return _np is not None
+
+
+class HeadStatusBatch:
+    """Slot-indexed numpy mirror of the per-warp head-status caches."""
+
+    __slots__ = ("n_slots", "ready_at", "mem_until", "status", "op_index",
+                 "_stamp_popped", "_stamp_version")
+
+    def __init__(self, n_slots: int) -> None:
+        if _np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("numpy is not available")
+        self.n_slots = n_slots
+        self.ready_at = _np.zeros(n_slots, dtype=_np.int64)
+        self.mem_until = _np.zeros(n_slots, dtype=_np.int64)
+        self.status = _np.zeros(n_slots, dtype=_np.int8)
+        self.op_index = _np.zeros(n_slots, dtype=_np.int8)
+        # Stamps live in plain lists: the staleness probe is a scalar
+        # compare per warp per plan, where list indexing beats numpy
+        # item access by a wide margin.
+        self._stamp_popped = [-1] * n_slots
+        self._stamp_version = [-1] * n_slots
+
+    # ------------------------------------------------------------------
+    # incremental refresh
+    # ------------------------------------------------------------------
+
+    def is_fresh(self, slot: int, popped: int, version: int) -> bool:
+        """True when the row already reflects ``(popped, version)``."""
+        return (self._stamp_popped[slot] == popped
+                and self._stamp_version[slot] == version)
+
+    def update(self, slot: int, popped: int, version: int, ready_at: int,
+               mem_until: int, unresolved: bool, op_class: OpClass) -> None:
+        """Overwrite one row from a freshly computed head summary."""
+        self.ready_at[slot] = ready_at
+        self.mem_until[slot] = mem_until
+        self.status[slot] = UNRESOLVED if unresolved else KNOWN
+        self.op_index[slot] = _OP_INDEX[op_class]
+        self._stamp_popped[slot] = popped
+        self._stamp_version[slot] = version
+
+    def invalidate(self, slot: int) -> None:
+        """Mark a slot as having no cached head (freed / empty buffer).
+
+        Stamp-gated so the planner can call it unconditionally for free
+        slots: an already-invalid row costs one list lookup.
+        """
+        if self._stamp_popped[slot] != -1:
+            self.status[slot] = NO_HEAD
+            self._stamp_popped[slot] = -1
+
+    # ------------------------------------------------------------------
+    # vector reductions
+    # ------------------------------------------------------------------
+
+    def classify(self, cycle: int):
+        """Classify every cached head at ``cycle`` in one vector pass.
+
+        Returns ``(ready_any, pending, unresolved_any, actv, bound)``:
+
+        * ``ready_any`` — some active head could issue at ``cycle``
+          (the caller must then real-step and ignore the rest);
+        * ``pending`` — warps in the pending set (unresolved producer or
+          inside the memory pending window);
+        * ``unresolved_any`` — at least one head waits on an unresolved
+          load (the caller must find an LDST completion to bound it);
+        * ``actv`` — int array over :data:`OP_CLASSES` of active-set
+          occupancy, the frozen ACTV counters for the span;
+        * ``bound`` — earliest future cycle at which any head's
+          classification can change (``None`` when no head contributes
+          a bound), i.e. the scoreboard contribution to the span end.
+        """
+        status = self.status
+        known = status == KNOWN
+        unresolved = status == UNRESOLVED
+        pending_mem = known & (self.mem_until > cycle)
+        active = known & ~pending_mem
+        ready_any = bool((self.ready_at[active] <= cycle).any())
+        if ready_any:
+            return True, 0, False, None, None
+        actv = _np.bincount(self.op_index[active],
+                            minlength=len(OP_CLASSES))
+        pending = int(_np.count_nonzero(pending_mem)
+                      + _np.count_nonzero(unresolved))
+        bounds = _np.concatenate((self.mem_until[pending_mem],
+                                  self.ready_at[active]))
+        bound: Optional[int] = int(bounds.min()) if bounds.size else None
+        return (False, pending, bool(unresolved.any()), actv, bound)
+
+
+__all__ = ["HeadStatusBatch", "NO_HEAD", "KNOWN", "UNRESOLVED",
+           "OP_CLASSES", "numpy_available"]

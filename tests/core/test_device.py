@@ -1,0 +1,72 @@
+"""Tests for the full-chip configuration layer (core/device)."""
+
+import pytest
+
+from repro.core.device import (
+    DEVICE_PRESETS,
+    GPUConfig,
+    MemorySideConfig,
+    device_preset,
+    device_preset_names,
+)
+from repro.sim.config import SMConfig
+
+
+class TestMemorySideConfig:
+    def test_neutral_for_single_sm(self):
+        # The single-SM golden digests depend on this exact identity.
+        ms = MemorySideConfig()
+        for base in (1, 100, 400, 999):
+            assert ms.effective_dram_latency(base, 1) == base
+
+    def test_monotonic_in_active_sms(self):
+        ms = MemorySideConfig()
+        latencies = [ms.effective_dram_latency(400, n)
+                     for n in range(1, 16)]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]
+
+    def test_gtx480_full_chip_factor(self):
+        # 15 SMs over 6 partitions at alpha 0.15: 1 + 0.15*14/6 = 1.35.
+        assert MemorySideConfig().effective_dram_latency(400, 15) == 540
+
+    def test_zero_alpha_disables_contention(self):
+        ms = MemorySideConfig(queue_alpha=0.0)
+        assert ms.effective_dram_latency(400, 15) == 400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySideConfig(n_partitions=0)
+        with pytest.raises(ValueError):
+            MemorySideConfig(queue_alpha=-0.1)
+        with pytest.raises(ValueError):
+            MemorySideConfig().effective_dram_latency(400, 0)
+
+
+class TestGPUConfig:
+    def test_gtx480_preset_is_the_paper_chip(self):
+        preset = device_preset("gtx480")
+        assert preset.n_sms == 15
+        assert preset.sm == SMConfig()
+        assert preset.memory_side.n_partitions == 6
+
+    def test_preset_names_sorted(self):
+        names = device_preset_names()
+        assert "gtx480" in names
+        assert list(names) == sorted(names)
+        assert set(names) == set(DEVICE_PRESETS)
+
+    def test_unknown_preset_suggests_closest(self):
+        with pytest.raises(ValueError, match="did you mean 'gtx480'"):
+            device_preset("gtx48")
+
+    def test_to_dict_shape(self):
+        d = device_preset("gtx480").to_dict()
+        assert d["kind"] == "device_preset"
+        assert d["n_sms"] == 15
+        assert d["sm"]["max_resident_warps"] == 48
+        assert d["memory_side"]["n_partitions"] == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUConfig(n_sms=0)

@@ -33,6 +33,9 @@ GOLDEN_TECHNIQUES = ("baseline", "gates", "naive_blackout",
 GOLDEN_BENCHMARKS = ("hotspot", "bfs")
 GOLDEN_SCALE = 0.5
 
+#: Device preset pinned at chip scale (the paper's 15-SM GTX480).
+GOLDEN_DEVICE_PRESET = "gtx480"
+
 
 def _canon(value):
     """Recursively convert a value into JSON-stable primitives."""
@@ -112,12 +115,66 @@ def event_stream_digest(events) -> str:
 # golden grid runners (shared by the test and the regeneration entry)
 # ----------------------------------------------------------------------
 
-def run_golden_cell(benchmark: str, technique_value: str):
-    """One serial (no fast-forward) golden run."""
+def run_golden_cell(benchmark: str, technique_value: str,
+                    fast_forward: bool = False):
+    """One single-SM golden run (serial by default).
+
+    ``fast_forward=True`` runs the same cell through the event-driven
+    span core; its digest must equal the serial one — that equality is
+    what pins the fast-forward path bit-identical.
+    """
     from repro.core.techniques import (Technique, TechniqueConfig,
                                        run_benchmark)
     return run_benchmark(benchmark, TechniqueConfig(Technique(technique_value)),
-                         seed=0, scale=GOLDEN_SCALE)
+                         seed=0, scale=GOLDEN_SCALE,
+                         fast_forward=fast_forward)
+
+
+def run_golden_device(benchmark: str, technique_value: str,
+                      fast_forward: bool = False):
+    """One full-chip golden run on the pinned device preset.
+
+    Serial and fast-forward flavours must digest identically; the
+    committed reference is computed from the serial core.
+    """
+    from repro.core.device import device_preset
+    from repro.core.techniques import Technique, TechniqueConfig
+    from repro.sim.gpu import GPU
+    from repro.workloads.registry import build_kernel
+    from repro.workloads.specs import get_profile
+
+    kernel = build_kernel(benchmark, seed=0, scale=GOLDEN_SCALE)
+    preset = device_preset(GOLDEN_DEVICE_PRESET)
+    gpu = GPU(preset.n_sms,
+              config=TechniqueConfig(Technique(technique_value)),
+              sm_config=preset.sm,
+              dram_latency=get_profile(benchmark).dram_latency,
+              memory_side=preset.memory_side,
+              fast_forward=fast_forward)
+    return gpu.run(kernel)
+
+
+def canonical_device_result(result) -> dict:
+    """Everything observable about one multi-SM run, in canonical form.
+
+    Per-SM results are canonicalised in part order (the aggregation
+    order both the serial and engine paths guarantee), so the digest
+    pins the whole fan-out, not just the chip-level maxima.
+    """
+    return _canon({
+        "kernel_name": result.kernel_name,
+        "technique": result.technique,
+        "cycles": result.cycles,
+        "total_instructions": result.total_instructions,
+        "sm_results": [canonical_result(r) for r in result.sm_results],
+    })
+
+
+def device_result_digest(result) -> str:
+    """sha256 over the canonical JSON of one multi-SM run."""
+    payload = json.dumps(canonical_device_result(result), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def run_instrumented_golden(benchmark: str = "hotspot",
@@ -153,6 +210,9 @@ def compute_goldens() -> dict:
         for technique in GOLDEN_TECHNIQUES:
             result = run_golden_cell(benchmark, technique)
             digests[f"{benchmark}/{technique}"] = result_digest(result)
+            device = run_golden_device(benchmark, technique)
+            digests[f"device/{benchmark}/{technique}"] = \
+                device_result_digest(device)
     result, events = run_instrumented_golden()
     digests["events/hotspot/warped_gates"] = event_stream_digest(events)
     digests["events/hotspot/warped_gates/result"] = result_digest(result)

@@ -19,8 +19,9 @@ from __future__ import annotations
 import pytest
 
 from tests.sim.identity import (GOLDEN_BENCHMARKS, GOLDEN_TECHNIQUES,
-                                event_stream_digest, load_goldens,
-                                result_digest, run_golden_cell,
+                                device_result_digest, event_stream_digest,
+                                load_goldens, result_digest,
+                                run_golden_cell, run_golden_device,
                                 run_instrumented_golden)
 
 GOLDENS = load_goldens()
@@ -35,6 +36,52 @@ def test_result_digest_matches_golden(bench_name, technique):
     assert result_digest(result) == GOLDENS[f"{bench_name}/{technique}"], (
         f"{technique} on {bench_name} drifted from the golden digest — "
         "an optimization changed observable behaviour")
+
+
+@pytest.mark.parametrize("bench_name,technique", _CELLS)
+def test_fast_forward_digest_matches_golden(bench_name, technique):
+    """The event-driven span core reproduces the serial digest.
+
+    The committed references were computed from the serial (no
+    fast-forward) cycle loop, so this equality is the proof that idle
+    *and* busy span skipping changes nothing observable — stats,
+    gating counters, idle histograms, warp records, metrics.
+    """
+    result = run_golden_cell(bench_name, technique, fast_forward=True)
+    assert result_digest(result) == GOLDENS[f"{bench_name}/{technique}"], (
+        f"fast-forward {technique} on {bench_name} diverged from the "
+        "serial core — a span was skipped across a state change")
+
+
+@pytest.mark.parametrize("bench_name,technique", _CELLS)
+def test_device_digest_matches_golden(bench_name, technique):
+    """Each cell at full-chip scale reproduces its committed digest.
+
+    15 SMs on the pinned gtx480 preset, per-SM results digested in
+    part order — drift in the splitter, the memory-side contention
+    factor, or any one SM's simulation fails here with the cell named.
+    """
+    result = run_golden_device(bench_name, technique)
+    digest = device_result_digest(result)
+    assert digest == GOLDENS[f"device/{bench_name}/{technique}"], (
+        f"device-scale {technique} on {bench_name} drifted from the "
+        "golden digest")
+
+
+@pytest.mark.parametrize("bench_name,technique", _CELLS)
+def test_device_fast_forward_matches_golden(bench_name, technique):
+    """Fast-forwarded device runs equal the serial device digests.
+
+    Device parts carry few warps each (48 warps / 15 SMs), which is
+    exactly the sparse regime where busy-span skipping is most
+    aggressive — the strongest exercise of the span planner's
+    eligibility rules.
+    """
+    result = run_golden_device(bench_name, technique, fast_forward=True)
+    digest = device_result_digest(result)
+    assert digest == GOLDENS[f"device/{bench_name}/{technique}"], (
+        f"fast-forward device-scale {technique} on {bench_name} "
+        "diverged from the serial device core")
 
 
 def test_event_stream_matches_golden():

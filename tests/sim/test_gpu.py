@@ -87,3 +87,81 @@ class TestGPU:
     def test_validation(self):
         with pytest.raises(ValueError):
             GPU(n_sms=0, sm_factory=self._factory())
+
+
+class TestDeviceScale:
+    """Full-chip construction: presets, memory side, energy rollup."""
+
+    def test_from_preset_builds_the_paper_chip(self, balanced_spec):
+        kernel = generate_kernel(balanced_spec, seed=1)
+        gpu = GPU.from_preset("gtx480", "baseline")
+        assert gpu.n_sms == 15
+        assert gpu.memory_side is not None
+        result = gpu.run(kernel)
+        assert result.total_instructions == kernel.total_instructions
+
+    def test_from_preset_unknown_name_suggests(self):
+        with pytest.raises(ValueError, match="did you mean 'gtx480'"):
+            GPU.from_preset("gtx48", "baseline")
+
+    def test_memory_side_requires_config_path(self):
+        from repro.core.device import MemorySideConfig
+
+        with pytest.raises(ValueError, match="config-based"):
+            GPU(n_sms=2, sm_factory=lambda k: None,
+                memory_side=MemorySideConfig())
+
+    def test_contention_inflates_device_runtime(self, balanced_spec):
+        from repro.core.device import MemorySideConfig
+
+        kernel = generate_kernel(balanced_spec, seed=1)
+        free = GPU(n_sms=4, config=TechniqueConfig(Technique.BASELINE),
+                   sm_config=SMALL_SM, dram_latency=400).run(kernel)
+        contended = GPU(n_sms=4,
+                        config=TechniqueConfig(Technique.BASELINE),
+                        sm_config=SMALL_SM, dram_latency=400,
+                        memory_side=MemorySideConfig(
+                            n_partitions=1, queue_alpha=1.0)).run(kernel)
+        assert contended.cycles > free.cycles
+
+    def test_single_sm_device_ignores_memory_side(self, balanced_spec):
+        from repro.core.device import MemorySideConfig
+
+        kernel = generate_kernel(balanced_spec, seed=1)
+        base = GPU(n_sms=1, config=TechniqueConfig(Technique.BASELINE),
+                   sm_config=SMALL_SM, dram_latency=400).run(kernel)
+        with_side = GPU(n_sms=1,
+                        config=TechniqueConfig(Technique.BASELINE),
+                        sm_config=SMALL_SM, dram_latency=400,
+                        memory_side=MemorySideConfig(
+                            n_partitions=1, queue_alpha=1.0)).run(kernel)
+        assert with_side.cycles == base.cycles
+
+    def test_energy_breakdown_aggregates_all_sms(self, balanced_spec):
+        from repro.sim.gpu import GPUResult
+
+        kernel = generate_kernel(balanced_spec, seed=1)
+        result = GPU(n_sms=3,
+                     config=TechniqueConfig(Technique.WARPED_GATES),
+                     sm_config=SMALL_SM, dram_latency=400).run(kernel)
+        breakdown = result.energy_breakdown()
+        for kind in (ExecUnitKind.INT, ExecUnitKind.FP):
+            chip = breakdown[kind]
+            # Chip baseline static energy is the sum over every SM's
+            # domain-cycles; nothing of any SM may be dropped.
+            activity = result.unit_activity(kind)
+            per_sm_cycles = sum(
+                r.unit_activity(kind).cycles for r in result.sm_results)
+            assert activity.cycles == per_sm_cycles
+            assert chip.baseline_static > 0
+            # Single-SM breakdowns must sum to the chip (the model is
+            # linear in activity).
+            parts = [GPUResult(kernel_name="k", technique="t",
+                               sm_results=(r,)).energy_breakdown()[kind]
+                     for r in result.sm_results]
+            assert chip.dynamic == pytest.approx(
+                sum(p.dynamic for p in parts))
+            assert chip.static == pytest.approx(
+                sum(p.static for p in parts))
+            assert chip.overhead == pytest.approx(
+                sum(p.overhead for p in parts))
