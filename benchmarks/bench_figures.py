@@ -1,0 +1,77 @@
+"""Wall-clock benchmark of the ``repro figures`` artifact pipeline.
+
+Times one full artifact generation (every registered figure plus the
+tolerance-gated headline checks) twice over the same runner:
+
+* **cold** — empty memo cache: the number a user sees on first
+  ``repro figures`` invocation, dominated by the shared
+  benchmark x technique simulation grid;
+* **warm** — same runner, fresh output directory: pure figure-building
+  and serialisation over cached results, the incremental cost of
+  regenerating the artifact after one more code change.
+
+The cold rate is appended to ``BENCH_history.jsonl`` as the
+``figures_pipeline`` row (suite ``figures``) and gated warn-don't-die
+against the previous recorded entry, same policy as the core and
+engine benches.
+"""
+
+import time
+
+from repro.harness.artifact import figure_names, generate_artifact
+from repro.harness.experiment import ExperimentRunner, ExperimentSettings
+
+import history
+from conftest import print_figure
+
+#: Representative subset: compute-bound, memory-bound and balanced.
+BENCHMARKS = ("hotspot", "bfs", "sgemm")
+
+
+def _fresh_runner(figure_scale: float) -> ExperimentRunner:
+    return ExperimentRunner(ExperimentSettings(
+        scale=min(figure_scale, 0.5), benchmarks=BENCHMARKS))
+
+
+def _generate(runner: ExperimentRunner, out_dir) -> float:
+    start = time.perf_counter()
+    report = generate_artifact(runner, out_dir, check=True)
+    elapsed = time.perf_counter() - start
+    assert [a.name for a in report.figures] == list(figure_names())
+    assert report.verdict in ("PASS", "WARN", "FAIL")
+    return elapsed
+
+
+def test_figures_pipeline(benchmark, figure_scale, tmp_path):
+    runner = _fresh_runner(figure_scale)
+    cold = _generate(runner, tmp_path / "cold")
+    # pytest-benchmark times the warm path (stable enough to compare
+    # across runs); the cold figure is a single measurement by nature.
+    benchmark.pedantic(
+        lambda: _generate(runner, tmp_path / "warm"),
+        rounds=3, iterations=1)
+    warm = _generate(runner, tmp_path / "warm")
+    n_figures = len(figure_names())
+    cold_rate = n_figures / cold
+    print_figure(
+        "FIGURES/figures_pipeline",
+        f"{n_figures} figures: cold {cold:.1f}s "
+        f"({cold_rate:.2f} figures/s), warm {warm:.2f}s "
+        f"({n_figures / warm:.2f} figures/s) over "
+        f"{len(BENCHMARKS)} benchmarks at scale "
+        f"{runner.settings.scale}")
+    previous = history.record_rates(
+        "figures", "figures_pipeline",
+        rates={"cold_figures_per_sec": round(cold_rate, 3),
+               "warm_figures_per_sec": round(n_figures / warm, 3)},
+        config={"benchmarks": list(BENCHMARKS),
+                "scale": runner.settings.scale,
+                "n_figures": n_figures,
+                "cold_seconds": round(cold, 2),
+                "warm_seconds": round(warm, 2)})
+    # The warm pass reuses every simulation; it must be decisively
+    # cheaper than the cold pass or the runner cache has regressed.
+    assert warm < cold
+    ok, message = history.check_against_previous(
+        previous, "cold_figures_per_sec", cold_rate)
+    assert ok, f"figures_pipeline vs history: {message}"

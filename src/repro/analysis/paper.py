@@ -126,6 +126,64 @@ ADAPTIVE_BOUNDS = (5, 10)
 FIG6_STRONG_CORRELATION_COUNT = 11
 
 
+# ---------------------------------------------------------------------------
+# Tolerance bands for the artifact pipeline's headline checks.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Absolute tolerance band around a paper-reported headline.
+
+    ``warn`` and ``fail`` are absolute deviations in the metric's own
+    units (savings fractions, normalised performance, percent points
+    for the section 7.5 rows).  ``|measured - paper| <= warn`` is PASS,
+    ``<= fail`` is WARN, beyond is FAIL — the verdict ``repro figures
+    --check`` reports per metric and gates CI on.
+    """
+
+    warn: float
+    fail: float
+
+    def __post_init__(self) -> None:
+        if self.warn < 0 or self.fail < 0:
+            raise ValueError("tolerances must be >= 0")
+        if self.warn > self.fail:
+            raise ValueError("warn tolerance must not exceed fail")
+
+
+#: Tolerance band per headline-metric group.  The bands are set from
+#: the full-scale deviations EXPERIMENTS.md documents: the warn band
+#: covers the known, explained model gap (synthetic traces vs the
+#: authors' GPGPU-Sim testbed); the fail band is the regression gate —
+#: a change pushing a metric past it has moved our *measured* science,
+#: not just re-exposed the documented calibration gap.
+TOLERANCES: Dict[str, Tolerance] = {
+    # Figure 9 suite averages: largest known gap 5.6pp INT (naive
+    # blackout), 7.1pp FP (warped gates).
+    "fig9_int": Tolerance(warn=0.06, fail=0.10),
+    "fig9_fp": Tolerance(warn=0.08, fail=0.12),
+    # Figure 10 geomeans track the paper within 2pp.
+    "fig10": Tolerance(warn=0.03, fail=0.06),
+    # Figure 8b is the one direction-deviating metric (EXPERIMENTS.md
+    # deviation 2): warped gates measures 13.9% vs the paper's 33.5%.
+    "fig8b": Tolerance(warn=0.10, fail=0.25),
+    # Figure 8c wakeup ratios: coord 1.02 vs 0.74, warped 0.93 vs 0.54.
+    "fig8c": Tolerance(warn=0.30, fail=0.50),
+    # Figure 3 hotspot region fractions: largest gap 14.6pp (GATES
+    # wasted region).
+    "fig3": Tolerance(warn=0.16, fail=0.30),
+    # Section 7.3 chip estimate: the paper states ranges; the band is
+    # the allowed distance *outside* the quoted range.
+    "sec73": Tolerance(warn=0.005, fail=0.015),
+    # Section 7.5 synthesis table: the area is reproduced from the
+    # paper's own constants (exact); the percent rows differ only by
+    # the paper's rounding.
+    "sec75_area_um2": Tolerance(warn=5.0, fail=50.0),
+    "sec75_pct": Tolerance(warn=0.01, fail=0.05),
+}
+
+
 @dataclass(frozen=True)
 class HeadlineClaim:
     """The abstract's headline, as a checkable record."""

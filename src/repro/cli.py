@@ -7,6 +7,10 @@ Commands:
   headline metrics.
 * ``figure``        — regenerate one of the paper's figures (prints the
   rows; ``--csv`` / ``--json`` export them).
+* ``figures``       — regenerate the *whole* paper artifact into one
+  directory per figure (data + summary + plot stub + provenance
+  manifest) and, under ``--check``, compare every measured headline
+  against the paper's tolerance bands (exit 3 when out of band).
 * ``characterize``  — the Figure 5 workload-characterisation tables.
 * ``sweep``         — Figure 11 parameter sweeps (``bet`` / ``wakeup``).
 * ``runs``          — query past engine batches from the run ledger
@@ -56,37 +60,16 @@ from repro.harness.sweeps import (
     sweep_rows,
     wakeup_sweep,
 )
+from repro.harness.artifact import FIGURES, generate_artifact
 from repro.isa.optypes import ExecUnitKind
 from repro.workloads.specs import BENCHMARK_NAMES
 
-#: figure name -> (headers, builder taking a runner)
+#: figure name -> (headers, builder taking a runner).  Derived from the
+#: artifact registry so ``repro figure`` and ``repro figures`` can never
+#: disagree about what a figure's rows are.
 FIGURE_BUILDERS: Dict[str, Tuple[Sequence[str], Callable]] = {
-    "fig1b": (figures.FIG1B_HEADERS, figures.fig1b_rows),
-    "fig3": (figures.FIG3_HEADERS, figures.fig3_rows),
-    "fig5a": (figures.FIG5A_HEADERS, figures.fig5a_rows),
-    "fig5b": (figures.FIG5B_HEADERS, figures.fig5b_rows),
-    "fig8a": (figures.FIG8A_HEADERS, figures.fig8a_rows),
-    "fig8b": (figures.FIG8B_HEADERS, figures.fig8b_rows),
-    "fig8c": (figures.FIG8C_HEADERS, figures.fig8c_rows),
-    "fig9a": (figures.FIG9_HEADERS,
-              lambda r: figures.fig9_rows(r, ExecUnitKind.INT)),
-    "fig9b": (figures.FIG9_HEADERS,
-              lambda r: figures.fig9_rows(r, ExecUnitKind.FP)),
-    "fig10": (figures.FIG10_HEADERS, figures.fig10_rows),
-    "sec75": (figures.SEC75_HEADERS, lambda r: figures.sec75_rows()),
-    "fig6": (("benchmark", "pearson_r", "max_cw_per_kcyc",
-              "worst_norm_runtime"), None),  # handled specially below
+    name: (spec.headers, spec.build) for name, spec in FIGURES.items()
 }
-
-
-def _fig6_rows(runner: ExperimentRunner):
-    from repro.harness.sweeps import idle_detect_sweep
-    rows = []
-    for result in idle_detect_sweep(runner):
-        rows.append([result.benchmark, result.pearson,
-                     max(x for x, _ in result.points),
-                     max(y for _, y in result.points)])
-    return rows
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,6 +155,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the rows as CSV")
     fig_cmd.add_argument("--json", metavar="PATH",
                          help="also write the rows as JSON")
+
+    figs_cmd = sub.add_parser(
+        "figures",
+        help="regenerate the full paper artifact (one directory per "
+             "figure + tolerance-gated headline checks)")
+    figs_cmd.add_argument("--out", metavar="DIR", default="results",
+                          help="artifact output directory "
+                               "(default results/)")
+    figs_cmd.add_argument("--figures", metavar="NAME[,NAME...]",
+                          default=None, dest="figure_subset",
+                          help="comma-separated figure subset "
+                               "(default: all)")
+    figs_cmd.add_argument("--format", metavar="FMT[,FMT...]",
+                          default="csv,json,md", dest="formats",
+                          help="data formats per figure directory, "
+                               "from csv,json,md (default all three)")
+    figs_cmd.add_argument("--check", action="store_true",
+                          help="compare measured headlines against the "
+                               "paper's tolerance bands; exit 3 if any "
+                               "metric is out of band (FAIL)")
 
     sub.add_parser("characterize", help="Figure 5 tables")
 
@@ -612,7 +615,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
     """Regenerate one paper figure; optionally export CSV/JSON."""
     headers, builder = FIGURE_BUILDERS[args.name]
     runner = _runner(args)
-    rows = _fig6_rows(runner) if args.name == "fig6" else builder(runner)
+    rows = builder(runner)
     print(format_table(headers, rows, title=args.name))
     if args.csv:
         rows_to_csv(headers, rows, path=args.csv)
@@ -621,6 +624,62 @@ def cmd_figure(args: argparse.Namespace) -> int:
         rows_to_json(headers, rows, path=args.json, figure=args.name)
         print(f"wrote {args.json}")
     return _failure_exit(runner.manifests)
+
+
+def _parse_comma_list(raw: Optional[str]) -> Optional[Tuple[str, ...]]:
+    if raw is None:
+        return None
+    return tuple(part.strip() for part in raw.split(",")
+                 if part.strip())
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate the paper artifact: every figure directory plus the
+    tolerance-gated headline comparison.
+
+    Exit codes follow the engine convention: 0 success (headlines in
+    band or ``--check`` not requested), 3 when the artifact completed
+    but is out of band — any headline FAILed its tolerance — or when
+    the grid completed around failed jobs.
+    """
+    formats = _parse_comma_list(args.formats) or ()
+    unknown = [fmt for fmt in formats if fmt not in ("csv", "json", "md")]
+    if unknown:
+        raise SystemExit(f"error: unknown format(s) "
+                         f"{', '.join(sorted(unknown))}; "
+                         f"choose from csv, json, md")
+    runner = _runner(args)
+    try:
+        report = generate_artifact(
+            runner, args.out,
+            figure_subset=_parse_comma_list(args.figure_subset),
+            formats=formats, check=args.check)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    for artifact in report.figures:
+        print(f"wrote {artifact.directory}/ "
+              f"({len(artifact.rows)} rows)")
+    print(f"wrote {report.out_dir / 'index.md'}")
+    if args.check:
+        print(f"wrote {report.out_dir / 'headline.json'}")
+        print()
+        rows = [[c.metric,
+                 c.measured,
+                 (f"{c.paper_low:.4g}" if c.paper_low == c.paper_high
+                  else f"{c.paper_low:.4g}-{c.paper_high:.4g}"),
+                 c.abs_error, c.fail_tol, c.verdict]
+                for c in report.checks]
+        counts = report.counts
+        print(format_table(
+            ("metric", "measured", "paper", "error", "fail_tol",
+             "verdict"), rows,
+            title=f"Headline checks — {report.verdict} "
+                  f"({counts['PASS']} pass, {counts['WARN']} warn, "
+                  f"{counts['FAIL']} fail)"))
+    code = _failure_exit(runner.manifests)
+    if args.check and report.verdict == "FAIL":
+        return 3
+    return code
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
@@ -794,6 +853,7 @@ COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
     "figure": cmd_figure,
+    "figures": cmd_figures,
     "characterize": cmd_characterize,
     "sweep": cmd_sweep,
     "trace": cmd_trace,

@@ -29,6 +29,7 @@ picklable and the parallel engine path bit-identical to the serial one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict
 
 from repro.core.spec import unknown_name_error
@@ -69,12 +70,23 @@ class MemorySideConfig:
         ``base`` for a lone SM — the neutrality the single-SM golden
         digests rely on.  The result is floored to an integer cycle
         count (the memory model is integer-cycled throughout).
+
+        Computed in exact integer arithmetic: ``queue_alpha`` is read
+        as the decimal its repr spells (0.15 == 3/20, not the nearest
+        binary double), the scaled numerator is built in integers and
+        floor-divided once.  The float path this replaces truncated
+        ``int(base * factor)`` through binary rounding — e.g. base 360
+        at 2 active SMs is exactly 369, but ``360 * 1.025`` rounds to
+        368.99999999999994 and truncated to 368, one cycle short and a
+        hair platform-dependent.
         """
         if n_active_sms < 1:
             raise ValueError("n_active_sms must be >= 1")
-        factor = 1.0 + self.queue_alpha * (n_active_sms - 1) \
-            / self.n_partitions
-        return int(base * factor)
+        alpha = Fraction(str(self.queue_alpha))
+        denominator = self.n_partitions * alpha.denominator
+        numerator = base * (denominator
+                            + alpha.numerator * (n_active_sms - 1))
+        return numerator // denominator
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,11 @@
   examples).
 * :mod:`repro.harness.sweeps` -- parameter sweeps: idle-detect (Fig. 6),
   break-even time and wakeup delay (Fig. 11).
+* :mod:`repro.harness.artifact` -- the one-command paper-artifact
+  pipeline (``repro figures``): per-figure result directories with
+  provenance manifests plus tolerance-gated headline checks.
+* :mod:`repro.harness.export` -- CSV / standard-JSON / Markdown row
+  serialisation shared by the CLI and the artifact pipeline.
 """
 
 from repro.harness.experiment import (

@@ -307,10 +307,36 @@ def normalized_performance(baseline: SimResult, result: SimResult) -> float:
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (Figure 10's summary statistic)."""
+    """Geometric mean (Figure 10's summary statistic).
+
+    Strict flavour: raises on non-positive input so silent zeros in a
+    ratio column can't corrupt a summary.  Figure tables that must stay
+    total in the presence of degenerate benchmarks (a zero-baseline
+    denominator emits NaN) summarise with :func:`geomean_excluding`
+    instead — both share one exclusion policy, so a figure table and a
+    headline check can never disagree about the same column.
+    """
     values = list(values)
     if not values:
         return 0.0
     if any(v <= 0 for v in values):
         raise ValueError("geomean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_excluding(values: Iterable[float]) -> Tuple[float, int]:
+    """Geometric mean with the documented exclusion policy.
+
+    The one policy both the figure geomean rows and the artifact
+    headline checks apply: non-finite (NaN, +/-inf) and non-positive
+    values are *excluded* — never clamped — and the exclusion count is
+    returned so tables can report it.  Returns ``(nan, len(values))``
+    when nothing survives; excluding a degenerate value is therefore
+    exactly equivalent to dropping that benchmark from the column.
+    """
+    values = list(values)
+    kept = [v for v in values if math.isfinite(v) and v > 0]
+    excluded = len(values) - len(kept)
+    if not kept:
+        return math.nan, excluded
+    return geomean(kept), excluded

@@ -1,8 +1,16 @@
-"""Result export: figure rows to CSV / JSON.
+"""Result export: figure rows to CSV / JSON / Markdown.
 
 The figure builders return plain row lists; these helpers serialise them
 so downstream plotting (outside this offline environment) can regenerate
 the paper's actual charts.
+
+NaN policy: figure rows mark undefined cells (a zero-baseline ratio, an
+all-failed sweep point) with ``float("nan")``.  JSON has no standard
+NaN literal — ``json.dumps`` would emit the non-interoperable ``NaN``
+token — so :func:`rows_to_json` serialises non-finite floats as
+``null`` (enforced with ``allow_nan=False``) and :func:`load_json_rows`
+reads ``null`` back as NaN, making the round trip lossless for every
+figure the pipeline writes.
 """
 
 from __future__ import annotations
@@ -10,20 +18,39 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Union
 
 Row = Sequence[object]
 
 
-def rows_to_csv(headers: Sequence[str], rows: Iterable[Row],
-                path: Optional[Union[str, Path]] = None) -> str:
-    """Serialise figure rows as CSV; optionally write to ``path``."""
+def _materialise(headers: Sequence[str],
+                 rows: Iterable[Row]) -> List[List[object]]:
     materialised = [list(row) for row in rows]
     for row in materialised:
         if len(row) != len(headers):
             raise ValueError(
                 f"row width {len(row)} != header width {len(headers)}")
+    return materialised
+
+
+def _json_safe(value: object) -> object:
+    """Map non-finite floats to None (JSON null); pass the rest through."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Row],
+                path: Optional[Union[str, Path]] = None) -> str:
+    """Serialise figure rows as CSV; optionally write to ``path``.
+
+    NaN cells render as the string ``nan`` — ``float("nan")`` reads it
+    straight back, and spreadsheet imports show the hole rather than a
+    fabricated zero.
+    """
+    materialised = _materialise(headers, rows)
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
     writer.writerow(headers)
@@ -37,22 +64,64 @@ def rows_to_csv(headers: Sequence[str], rows: Iterable[Row],
 def rows_to_json(headers: Sequence[str], rows: Iterable[Row],
                  path: Optional[Union[str, Path]] = None,
                  figure: Optional[str] = None) -> str:
-    """Serialise figure rows as a JSON document of records."""
-    materialised = [list(row) for row in rows]
-    for row in materialised:
-        if len(row) != len(headers):
-            raise ValueError(
-                f"row width {len(row)} != header width {len(headers)}")
-    records: List[dict] = [dict(zip(headers, row)) for row in materialised]
+    """Serialise figure rows as a JSON document of records.
+
+    Non-finite floats become ``null`` so the document stays standard
+    JSON (``allow_nan=False`` makes any leak a hard error, not a
+    silently non-portable file).
+    """
+    materialised = _materialise(headers, rows)
+    records: List[dict] = [
+        dict(zip(headers, (_json_safe(cell) for cell in row)))
+        for row in materialised]
     document = {"figure": figure, "headers": list(headers),
                 "records": records}
-    text = json.dumps(document, indent=2, sort_keys=False)
+    text = json.dumps(document, indent=2, sort_keys=False,
+                      allow_nan=False)
     if path is not None:
         Path(path).write_text(text, encoding="utf-8")
     return text
 
 
 def load_json_rows(path: Union[str, Path]) -> List[dict]:
-    """Read back records written by :func:`rows_to_json`."""
+    """Read back records written by :func:`rows_to_json`.
+
+    ``null`` cells (the serialised form of NaN) come back as
+    ``float("nan")``, completing the round trip.
+    """
     document = json.loads(Path(path).read_text(encoding="utf-8"))
-    return document["records"]
+    return [{key: (math.nan if value is None else value)
+             for key, value in record.items()}
+            for record in document["records"]]
+
+
+def _markdown_cell(value: object) -> str:
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return "—"
+        return f"{value:.4g}"
+    return str(value).replace("|", "\\|")
+
+
+def rows_to_markdown(headers: Sequence[str], rows: Iterable[Row],
+                     path: Optional[Union[str, Path]] = None,
+                     title: Optional[str] = None) -> str:
+    """Render figure rows as a GitHub-flavoured Markdown table.
+
+    Floats render with four significant digits; NaN renders as an em
+    dash.  Used for the per-figure ``summary.md`` files the artifact
+    pipeline writes.
+    """
+    materialised = _materialise(headers, rows)
+    lines: List[str] = []
+    if title:
+        lines += [f"## {title}", ""]
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in materialised:
+        lines.append("| " + " | ".join(_markdown_cell(cell)
+                                       for cell in row) + " |")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import math
+
 from repro.analysis.idle_periods import region_fractions, histogram_series
 from repro.core.techniques import Technique
 from repro.harness.experiment import (
     ExperimentRunner,
-    geomean,
+    geomean_excluding,
     normalized_performance,
 )
 from repro.isa.optypes import ExecUnitKind
@@ -154,6 +156,25 @@ def fig5b_rows(runner: ExperimentRunner) -> List[Row]:
 
 
 # ---------------------------------------------------------------------------
+# Figure 6: critical wakeups vs runtime correlation
+# ---------------------------------------------------------------------------
+
+FIG6_HEADERS = ("benchmark", "pearson_r", "max_cw_per_kcyc",
+                "worst_norm_runtime")
+
+
+def fig6_rows(runner: ExperimentRunner) -> List[Row]:
+    """Per-benchmark critical-wakeup correlation summary (Figure 6)."""
+    from repro.harness.sweeps import idle_detect_sweep
+    rows: List[Row] = []
+    for result in idle_detect_sweep(runner):
+        rows.append([result.benchmark, result.pearson,
+                     max(x for x, _ in result.points),
+                     max(y for _, y in result.points)])
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Figure 8: power-gating opportunity
 # ---------------------------------------------------------------------------
 
@@ -171,7 +192,10 @@ def fig8a_rows(runner: ExperimentRunner,
         row: Row = [name]
         for technique in FIG8_TECHNIQUES:
             frac = runner.run(name, technique).idle_fraction(kind)
-            row.append(frac / base if base else 0.0)
+            # A benchmark whose baseline never idles has no defined
+            # ratio: NaN, which the geomean row excludes (a 0.0 here
+            # used to collapse the suite geomean through the clamp).
+            row.append(frac / base if base else math.nan)
         rows.append(row)
     rows.append(_geomean_row(rows))
     return rows
@@ -206,19 +230,31 @@ def fig8c_rows(runner: ExperimentRunner,
         for technique in FIG8_TECHNIQUES:
             events = runner.run(name, technique) \
                 .gating_totals(kind).gating_events
-            row.append(events / conv_events if conv_events else 0.0)
+            row.append(events / conv_events if conv_events else math.nan)
         rows.append(row)
     rows.append(_geomean_row(rows))
     return rows
 
 
 def _geomean_row(rows: Sequence[Row]) -> Row:
-    out: Row = ["geomean"]
-    n_cols = len(rows[0])
-    for col in range(1, n_cols):
-        values = [max(float(r[col]), 1e-9) for r in rows]
-        out.append(geomean(values))
-    return out
+    """Summary row under the shared exclusion policy.
+
+    Non-finite and non-positive cells are excluded per column (the
+    :func:`repro.harness.experiment.geomean_excluding` policy) instead
+    of clamped — one degenerate benchmark used to drag a suite geomean
+    down ~9 orders of magnitude through a 1e-9 floor.  When any column
+    excluded values, the label cell reports the worst-case count so the
+    reduced population is visible in every rendered table.
+    """
+    excluded_max = 0
+    values_by_col: List[float] = []
+    for col in range(1, len(rows[0])):
+        value, excluded = geomean_excluding(float(r[col]) for r in rows)
+        values_by_col.append(value)
+        excluded_max = max(excluded_max, excluded)
+    label = ("geomean" if not excluded_max
+             else f"geomean ({excluded_max} excluded)")
+    return [label] + values_by_col
 
 
 # ---------------------------------------------------------------------------

@@ -68,3 +68,22 @@ class TestInternalConsistency:
     def test_suite_size_matches_workloads(self):
         from repro.workloads.specs import BENCHMARK_NAMES
         assert len(BENCHMARK_NAMES) == paper.N_BENCHMARKS
+
+
+class TestTolerances:
+    def test_bands_are_ordered(self):
+        for group, band in paper.TOLERANCES.items():
+            assert 0 <= band.warn <= band.fail, group
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="must not exceed"):
+            paper.Tolerance(warn=0.2, fail=0.1)
+        with pytest.raises(ValueError, match=">= 0"):
+            paper.Tolerance(warn=-0.1, fail=0.1)
+
+    def test_every_headline_group_is_covered(self):
+        # Every artifact headline resolves to a band, and no band is
+        # dead weight.
+        from repro.harness.artifact import headline_references
+        groups = {ref.group for ref in headline_references()}
+        assert groups == set(paper.TOLERANCES)

@@ -30,6 +30,13 @@ class TestMemorySideConfig:
         # 15 SMs over 6 partitions at alpha 0.15: 1 + 0.15*14/6 = 1.35.
         assert MemorySideConfig().effective_dram_latency(400, 15) == 540
 
+    def test_exact_where_float_truncated(self):
+        # 360 * (1 + 0.15/6) is exactly 369, but the float product
+        # 360 * 1.025 rounds to 368.999...94 and int() truncated it to
+        # 368.  The integer path must hit the exact value.
+        assert MemorySideConfig().effective_dram_latency(360, 2) == 369
+        assert int(360 * (1 + 0.15 * 1 / 6)) == 368  # the old bug
+
     def test_zero_alpha_disables_contention(self):
         ms = MemorySideConfig(queue_alpha=0.0)
         assert ms.effective_dram_latency(400, 15) == 400

@@ -175,6 +175,61 @@ class TestCommands:
         assert "pearson_r" in capsys.readouterr().out
 
 
+class TestFiguresCommand:
+    def test_sec75_only_artifact_passes_check(self, capsys, tmp_path):
+        # sec75 is closed-form (reproduces the paper's own synthesis
+        # constants), so a sec75-only checked artifact is a
+        # deterministic PASS and the command exits 0.
+        out_dir = tmp_path / "results"
+        code = main(["figures", "--out", str(out_dir),
+                     "--figures", "sec75", "--check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and f"{out_dir / 'index.md'}" in out
+        for filename in ("data.csv", "data.json", "summary.md",
+                         "plot.py", "manifest.json"):
+            assert (out_dir / "sec75" / filename).exists()
+        document = json.loads((out_dir / "headline.json").read_text())
+        assert document["verdict"] == "PASS"
+        assert len(document["checks"]) == 4
+
+    def test_unmeasurable_subset_fails_check_with_exit_3(self, capsys,
+                                                         tmp_path):
+        # fig5a contributes no headline metrics: an artifact that
+        # measured nothing cannot be in band, so --check exits 3.
+        code = main(["--scale", "0.15", "--benchmarks", "hotspot",
+                     "figures", "--out", str(tmp_path / "results"),
+                     "--figures", "fig5a", "--check"])
+        assert code == 3
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_without_check_no_headline_file(self, capsys, tmp_path):
+        out_dir = tmp_path / "results"
+        code = main(["figures", "--out", str(out_dir),
+                     "--figures", "sec75"])
+        assert code == 0
+        assert (out_dir / "index.md").exists()
+        assert not (out_dir / "headline.json").exists()
+
+    def test_format_subset_controls_files(self, capsys, tmp_path):
+        out_dir = tmp_path / "results"
+        assert main(["figures", "--out", str(out_dir),
+                     "--figures", "sec75", "--format", "csv"]) == 0
+        assert (out_dir / "sec75" / "data.csv").exists()
+        assert not (out_dir / "sec75" / "data.json").exists()
+        assert not (out_dir / "sec75" / "summary.md").exists()
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown format"):
+            main(["figures", "--out", str(tmp_path / "r"),
+                  "--format", "xml", "--figures", "sec75"])
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown figure 'fig9'"):
+            main(["figures", "--out", str(tmp_path / "r"),
+                  "--figures", "fig9"])
+
+
 class TestEngineFlags:
     def test_engine_flags_parse_with_defaults(self):
         args = build_parser().parse_args(["run", "hotspot", "baseline"])

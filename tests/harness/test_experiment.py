@@ -1,5 +1,7 @@
 """Tests for the experiment runner and derived metrics."""
 
+import math
+
 import pytest
 
 from repro.core.techniques import Technique
@@ -7,6 +9,7 @@ from repro.harness.experiment import (
     ExperimentRunner,
     ExperimentSettings,
     geomean,
+    geomean_excluding,
     normalized_performance,
 )
 from repro.isa.optypes import ExecUnitKind
@@ -97,3 +100,29 @@ class TestGeomean:
     def test_nonpositive_rejected(self):
         with pytest.raises(ValueError):
             geomean([1.0, 0.0])
+
+
+class TestGeomeanExcluding:
+    """The documented companion policy: strict ``geomean`` raises on
+    bad input, ``geomean_excluding`` drops it and reports the count."""
+
+    def test_clean_input_matches_strict(self):
+        value, excluded = geomean_excluding([1.0, 4.0])
+        assert value == pytest.approx(geomean([1.0, 4.0]))
+        assert excluded == 0
+
+    def test_drops_nonfinite_and_nonpositive(self):
+        value, excluded = geomean_excluding(
+            [2.0, math.nan, 8.0, 0.0, -1.0, math.inf])
+        assert value == pytest.approx(4.0)
+        assert excluded == 4
+
+    def test_nothing_survives_is_nan(self):
+        value, excluded = geomean_excluding([math.nan, 0.0])
+        assert math.isnan(value)
+        assert excluded == 2
+
+    def test_empty_is_nan_with_zero_excluded(self):
+        value, excluded = geomean_excluding([])
+        assert math.isnan(value)
+        assert excluded == 0

@@ -1,13 +1,20 @@
-"""Tests for CSV/JSON result export."""
+"""Tests for CSV/JSON/Markdown result export."""
 
 import json
+import math
 
 import pytest
 
-from repro.harness.export import load_json_rows, rows_to_csv, rows_to_json
+from repro.harness.export import (
+    load_json_rows,
+    rows_to_csv,
+    rows_to_json,
+    rows_to_markdown,
+)
 
 HEADERS = ("benchmark", "savings")
 ROWS = [["hotspot", 0.25], ["bfs", 0.5]]
+NAN_ROWS = [["hotspot", math.nan], ["bfs", 0.5]]
 
 
 class TestCSV:
@@ -49,3 +56,57 @@ class TestJSON:
     def test_width_mismatch(self):
         with pytest.raises(ValueError, match="row width"):
             rows_to_json(HEADERS, [[1, 2, 3]])
+
+
+class TestNaNRoundTrip:
+    """NaN policy: CSV spells ``nan``, JSON goes NaN -> null -> NaN."""
+
+    def test_csv_spells_nan(self):
+        text = rows_to_csv(HEADERS, NAN_ROWS)
+        cell = text.splitlines()[1].split(",")[1]
+        assert cell == "nan"
+        assert math.isnan(float(cell))  # reads straight back
+
+    def test_json_serialises_nan_as_null(self):
+        text = rows_to_json(HEADERS, NAN_ROWS)
+        # Standard JSON: a strict parser accepts it and the
+        # non-interoperable bare NaN token never appears.
+        assert "NaN" not in text
+        document = json.loads(text, parse_constant=pytest.fail)
+        assert document["records"][0]["savings"] is None
+
+    def test_load_restores_nan(self, tmp_path):
+        path = tmp_path / "out.json"
+        rows_to_json(HEADERS, NAN_ROWS, path=path)
+        records = load_json_rows(path)
+        assert math.isnan(records[0]["savings"])
+        assert records[1]["savings"] == 0.5
+
+    def test_infinities_also_become_null(self):
+        text = rows_to_json(HEADERS, [["a", math.inf], ["b", -math.inf]])
+        records = json.loads(text)["records"]
+        assert [r["savings"] for r in records] == [None, None]
+
+
+class TestMarkdown:
+    def test_table_shape(self, tmp_path):
+        path = tmp_path / "summary.md"
+        text = rows_to_markdown(HEADERS, ROWS, path=path, title="Fig X")
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0] == "## Fig X"
+        assert lines[2] == "| benchmark | savings |"
+        assert lines[3] == "|---|---|"
+        assert lines[4] == "| hotspot | 0.25 |"
+
+    def test_nan_renders_as_dash(self):
+        text = rows_to_markdown(HEADERS, NAN_ROWS)
+        assert "| hotspot | — |" in text
+
+    def test_pipes_escaped(self):
+        text = rows_to_markdown(HEADERS, [["a|b", 1.0]])
+        assert "a\\|b" in text
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            rows_to_markdown(HEADERS, [["only-one"]])

@@ -1,5 +1,7 @@
 """Tests for the per-figure builders."""
 
+import math
+
 import pytest
 
 from repro.core.techniques import Technique
@@ -93,6 +95,37 @@ class TestFig8:
         # reports the three techniques relative to conv.
         rows = figures.fig8c_rows(runner, ExecUnitKind.INT)
         assert len(rows[0]) == 4  # benchmark + three techniques
+
+
+class TestGeomeanRow:
+    """The shared exclusion policy behind every geomean summary row."""
+
+    def test_no_exclusions_keeps_plain_label(self):
+        row = figures._geomean_row([["a", 2.0, 4.0], ["b", 8.0, 4.0]])
+        assert row[0] == "geomean"
+        assert row[1] == pytest.approx(4.0)
+        assert row[2] == pytest.approx(4.0)
+
+    def test_nan_cells_excluded_not_clamped(self):
+        # Pre-fix behaviour clamped NaN/zero to 1e-9, dragging a
+        # two-benchmark geomean down ~4.5 orders of magnitude.
+        row = figures._geomean_row(
+            [["a", 2.0], ["b", math.nan], ["c", 8.0]])
+        assert row[0] == "geomean (1 excluded)"
+        assert row[1] == pytest.approx(4.0)
+
+    def test_label_reports_worst_column(self):
+        row = figures._geomean_row(
+            [["a", math.nan, 2.0], ["b", math.nan, 8.0],
+             ["c", 3.0, math.nan]])
+        assert row[0] == "geomean (2 excluded)"
+        assert row[1] == pytest.approx(3.0)
+        assert row[2] == pytest.approx(4.0)
+
+    def test_all_excluded_column_is_nan(self):
+        row = figures._geomean_row([["a", math.nan], ["b", 0.0]])
+        assert row[0] == "geomean (2 excluded)"
+        assert math.isnan(row[1])
 
 
 class TestFig9and10:

@@ -1,0 +1,61 @@
+"""Property tests: exact integer DRAM-latency inflation.
+
+``MemorySideConfig.effective_dram_latency`` is the one cross-SM
+coupling in the device model, and the full-GPU golden digests depend on
+its exact values.  Three invariants are pinned over arbitrary
+configurations: neutrality for a lone SM (the single-SM digests),
+monotonicity in the number of active SMs, and exactness — the integer
+path must equal the floor of the true rational ``base * (1 + alpha *
+(n - 1) / partitions)``, which the float path it replaced missed by one
+cycle whenever binary rounding landed just below an integer (e.g. base
+360 at 2 SMs: ``360 * 1.025 == 368.999...`` truncated to 368, not 369).
+"""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.device import MemorySideConfig
+
+BASES = st.integers(min_value=1, max_value=5000)
+N_SMS = st.integers(min_value=1, max_value=64)
+PARTITIONS = st.integers(min_value=1, max_value=12)
+#: Alphas as short decimals — the repr-faithful reading the
+#: implementation documents (0.15 is read as 3/20).
+ALPHAS = st.integers(min_value=0, max_value=1000).map(
+    lambda thousandths: thousandths / 1000)
+
+
+@given(base=BASES, n_partitions=PARTITIONS, alpha=ALPHAS)
+@settings(max_examples=80, deadline=None)
+def test_single_sm_is_neutral(base, n_partitions, alpha):
+    """One active SM sees exactly the base latency, whatever the
+    contention parameters — the single-SM golden digests rely on it."""
+    ms = MemorySideConfig(n_partitions=n_partitions, queue_alpha=alpha)
+    assert ms.effective_dram_latency(base, 1) == base
+
+
+@given(base=BASES, n_partitions=PARTITIONS, alpha=ALPHAS)
+@settings(max_examples=80, deadline=None)
+def test_monotonic_in_active_sms(base, n_partitions, alpha):
+    ms = MemorySideConfig(n_partitions=n_partitions, queue_alpha=alpha)
+    latencies = [ms.effective_dram_latency(base, n)
+                 for n in range(1, 33)]
+    assert latencies == sorted(latencies)
+    if alpha > 0:
+        assert latencies[-1] > latencies[0] or \
+            Fraction(str(alpha)) * 31 < n_partitions
+
+
+@given(base=BASES, n_active_sms=N_SMS, n_partitions=PARTITIONS,
+       alpha=ALPHAS)
+@settings(max_examples=120, deadline=None)
+def test_exact_floor_of_rational_reference(base, n_active_sms,
+                                           n_partitions, alpha):
+    """The integer path equals floor(base * (1 + a*(n-1)/p)) computed
+    in exact rational arithmetic — no binary-rounding truncation."""
+    ms = MemorySideConfig(n_partitions=n_partitions, queue_alpha=alpha)
+    factor = 1 + Fraction(str(alpha)) * (n_active_sms - 1) / n_partitions
+    expected = math.floor(base * factor)
+    assert ms.effective_dram_latency(base, n_active_sms) == expected
