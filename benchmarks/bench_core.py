@@ -61,6 +61,20 @@ PRE_PR_CYCLES_PER_SEC = {
 #: workflow treats a failure as a warning, not a hard stop.
 MIN_SPEEDUP = 2.0
 SPEEDUP_TOLERANCE = 0.85
+
+#: Dense-regime row (``dense_single_sm``): bfs at full scale issues
+#: nearly every cycle, so span skipping finds almost nothing — the
+#: regime the dense-step kernel (:mod:`repro.sim.kernel`) exists for.
+DENSE_BENCHMARK = "bfs"
+DENSE_SCALE = 1.0
+#: Serial rate of this PR's seed on the dense workload (best-of-5 on
+#: the reference container) — the kernel targets >= 1.5x against it.
+PRE_PR_DENSE_CYCLES_PER_SEC = 25_510.0
+MIN_DENSE_SPEEDUP = 1.5
+#: The pure-Python floor: with numpy and the compiled build both
+#: unavailable the fast-forward path must still beat the rate the
+#: serial loop reached before this PR's kernel work.
+PRE_PR_DENSE_FF_CYCLES_PER_SEC = 28_543.0
 #: Bus-enabled loop overhead target (fraction of the plain-loop rate).
 MAX_INSTRUMENTED_OVERHEAD = 0.10
 OVERHEAD_TOLERANCE = 0.05
@@ -188,6 +202,90 @@ def test_core_serial_baseline(benchmark):
 def test_core_serial_warped_gates(benchmark):
     """Fully gated + adaptive configuration — the paper's main subject."""
     _serial_row(benchmark, Technique.WARPED_GATES, "warped_gates")
+
+
+def _dense_rate(rounds: int = 5, **run_kwargs) -> tuple:
+    """Best-of-N full-run rate on the dense workload."""
+    best = 0.0
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = run_benchmark(DENSE_BENCHMARK,
+                               TechniqueConfig(Technique.WARPED_GATES),
+                               seed=SEED, scale=DENSE_SCALE, **run_kwargs)
+        elapsed = time.perf_counter() - start
+        rate = result.cycles / elapsed
+        if rate > best:
+            best = rate
+    return best, result
+
+
+def test_core_dense_single_sm(benchmark):
+    """Dense-regime throughput: the SoA step kernel's gate.
+
+    Three rates on the same workload: the forced dense kernel (the
+    headline), the fast-forward auto path (planner hands dense windows
+    to the kernel), and the pure-Python fallback (``REPRO_PURE_PYTHON``
+    forces the no-numpy seeding; the compiled build, when installed,
+    shows up here too).
+    """
+    import os
+
+    from repro.sim.vectorize import PURE_PYTHON_ENV
+
+    benchmark.pedantic(
+        run_benchmark,
+        args=(DENSE_BENCHMARK, TechniqueConfig(Technique.WARPED_GATES)),
+        kwargs={"seed": SEED, "scale": DENSE_SCALE, "dense_kernel": True},
+        rounds=3, iterations=1, warmup_rounds=1)
+    kernel_rate, kernel_result = _dense_rate(dense_kernel=True)
+    auto_rate, auto_result = _dense_rate(fast_forward=True)
+    saved = os.environ.get(PURE_PYTHON_ENV)
+    os.environ[PURE_PYTHON_ENV] = "1"
+    try:
+        pure_rate, _ = _dense_rate(fast_forward=True)
+    finally:
+        if saved is None:
+            del os.environ[PURE_PYTHON_ENV]
+        else:
+            os.environ[PURE_PYTHON_ENV] = saved
+    kernel_speedup = kernel_rate / PRE_PR_DENSE_CYCLES_PER_SEC
+    print_figure(
+        "CORE/dense_single_sm",
+        f"{kernel_result.cycles} cycles: forced kernel "
+        f"{kernel_rate:,.0f} cycles/s ({kernel_speedup:.2f}x vs pre-PR "
+        f"{PRE_PR_DENSE_CYCLES_PER_SEC:,.0f}), auto {auto_rate:,.0f} "
+        f"(planner_overhead="
+        f"{auto_result.stats.planner_overhead_cycles}), "
+        f"pure-python {pure_rate:,.0f}")
+    previous = _record("dense_single_sm", {
+        "benchmark": DENSE_BENCHMARK, "scale": DENSE_SCALE,
+        "technique": "warped_gates", "best_of": 5,
+        "cycles": kernel_result.cycles,
+        "kernel_cycles_per_sec": round(kernel_rate, 1),
+        "auto_cycles_per_sec": round(auto_rate, 1),
+        "pure_python_cycles_per_sec": round(pure_rate, 1),
+        "planner_overhead_cycles":
+            auto_result.stats.planner_overhead_cycles,
+        "pre_pr_cycles_per_sec": PRE_PR_DENSE_CYCLES_PER_SEC,
+        "speedup_vs_pre_pr": round(kernel_speedup, 2),
+    })
+    _gate("dense_single_sm",
+          kernel_speedup >= MIN_DENSE_SPEEDUP * SPEEDUP_TOLERANCE,
+          f"dense-kernel throughput {kernel_rate:,.0f} cycles/s is "
+          f"{kernel_speedup:.2f}x the pre-PR dense rate; gate is "
+          f">= {MIN_DENSE_SPEEDUP}x "
+          f"(with {SPEEDUP_TOLERANCE:.0%} tolerance)")
+    _gate("dense_single_sm",
+          pure_rate >= PRE_PR_DENSE_FF_CYCLES_PER_SEC
+          * SPEEDUP_TOLERANCE,
+          f"pure-Python dense rate {pure_rate:,.0f} cycles/s fell "
+          f"below the pre-PR fast-forward rate "
+          f"{PRE_PR_DENSE_FF_CYCLES_PER_SEC:,.0f} "
+          f"(with {SPEEDUP_TOLERANCE:.0%} tolerance)")
+    history_ok, message = history.check_against_previous(
+        previous, "kernel_cycles_per_sec", kernel_rate)
+    _gate("dense_single_sm", history_ok, f"vs history: {message}")
 
 
 def test_core_instrumented_overhead(benchmark):

@@ -52,6 +52,9 @@ class GatesScheduler(WarpScheduler):
     name = "gates"
     # ``order`` filters on the ready bit immediately.
     needs_all_candidates = False
+    # The dense kernel replicates the rank-bucket rotation natively
+    # (and calls ``_update_priority`` every cycle, as ``order`` does).
+    dense_order_mode = "gates"
 
     def __init__(self, n_slots: int = 48,
                  max_priority_cycles: Optional[int] = None,

@@ -204,7 +204,8 @@ def build_sm(kernel, config,
              dram_latency: Optional[int] = None,
              kernel_gap_cycles: int = 0,
              bus: Optional["EventBus"] = None,
-             fast_forward: bool = False) -> StreamingMultiprocessor:
+             fast_forward: bool = False,
+             dense_kernel: Optional[bool] = None) -> StreamingMultiprocessor:
     """Assemble an SM wired for one technique.
 
     ``config`` is anything :func:`repro.core.spec.as_spec` resolves: a
@@ -225,6 +226,12 @@ def build_sm(kernel, config,
     provably-quiet idle spans.  Off by default so direct ``build_sm``
     users (golden tests, examples) exercise the plain cycle loop; the
     parallel engine turns it on.
+
+    ``dense_kernel`` selects the dense-step kernel policy
+    (:mod:`repro.sim.kernel`): True forces the whole run through the
+    SoA kernel (bit-identical; the kernel golden digests pin it), False
+    forbids the fast-forward planner from handing over dense windows,
+    None (default) leaves the hand-over adaptive.
     """
     spec = as_spec(config)
     sm_config = spec.apply_sm_overrides(sm_config or SMConfig())
@@ -240,7 +247,8 @@ def build_sm(kernel, config,
                                  dram_latency=dram_latency,
                                  technique=spec.name,
                                  kernel_gap_cycles=kernel_gap_cycles,
-                                 bus=bus, fast_forward=fast_forward)
+                                 bus=bus, fast_forward=fast_forward,
+                                 dense_kernel=dense_kernel)
     if sched_plugin.attach is not None:
         sched_plugin.attach(sm, scheduler)
     if not spec.gated:
@@ -281,7 +289,8 @@ def run_benchmark(name: str, config,
                   sm_config: Optional[SMConfig] = None,
                   seed: int = 0, scale: float = 1.0,
                   bus: Optional["EventBus"] = None,
-                  fast_forward: bool = False) -> SimResult:
+                  fast_forward: bool = False,
+                  dense_kernel: Optional[bool] = None) -> SimResult:
     """Build, wire and run one benchmark under one technique.
 
     Uses the benchmark profile's DRAM latency; the trace for a given
@@ -292,5 +301,5 @@ def run_benchmark(name: str, config,
     profile = get_profile(name)
     sm = build_sm(kernel, config, sm_config=sm_config,
                   dram_latency=profile.dram_latency, bus=bus,
-                  fast_forward=fast_forward)
+                  fast_forward=fast_forward, dense_kernel=dense_kernel)
     return sm.run()

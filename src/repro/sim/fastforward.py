@@ -93,13 +93,42 @@ from repro.sim.sched.base import IssueCandidate, SchedulerView
 from repro.sim.vectorize import (HeadStatusBatch, OP_CLASSES,
                                  numpy_available)
 
-#: Ceiling of the failed-plan backoff: after repeated failures the
+#: Floor of the failed-plan backoff cap: after repeated failures the
 #: planner re-arms at most this many cycles later.  Tuned on the
 #: device-scale bench: tiny against the spans worth skipping (a DRAM
 #: round trip is hundreds of cycles), so the coverage loss stays in the
 #: low percent, while issue-bound stretches still shed most of the
 #: planning cost.
 PLAN_BACKOFF_CAP = 4
+
+#: Ceiling the backoff cap may *adaptively* grow to while the observed
+#: skip fraction stays low (a dense regime keeps failing plans — paying
+#: a plan every 5 cycles there is pure overhead).  Any skip success
+#: walks the cap back down toward :data:`PLAN_BACKOFF_CAP`, so a regime
+#: change costs at most a few shortened spans.
+ADAPTIVE_BACKOFF_CAP = 64
+
+#: Observation window (cycles) over which the skip fraction is measured
+#: before the cap escalates or a dense window is entered.
+ADAPT_WINDOW = 256
+
+#: Consecutive failed plans required (on top of a low skip fraction at
+#: the fully escalated cap) before a window is handed to the dense-step
+#: kernel — the hysteresis that prevents mode thrash on the boundary.
+DENSE_ENTER_STREAK = 8
+
+#: Length of one dense-kernel window.  During the window no spans are
+#: skipped (the kernel real-steps every cycle, batched), so the window
+#: is sized to amortise the planner's re-probe between windows without
+#: committing a skippable regime for long.
+DENSE_WINDOW = 8192
+
+#: Skip-fraction threshold: below this, span-skipping saves less than
+#: batched dense stepping, so the planner escalates its backoff and
+#: eventually hands over to the kernel.  (The kernel's measured win on
+#: the dense single-SM bench is ~1.5-1.8x, which breaks even with
+#: span-skipping at roughly a third of cycles skipped.)
+DENSE_SKIP_FRACTION = 0.25
 
 #: Slot-count threshold below which the numpy batch costs more than the
 #: plain Python accumulation it replaces.
@@ -125,6 +154,24 @@ class SpanFastForwarder:
         self._view: Optional[SchedulerView] = None
         self._next_plan = 0
         self._backoff = 0
+        #: Adaptive ceiling of the failed-plan backoff (satellite of the
+        #: dense-kernel work): grows toward ADAPTIVE_BACKOFF_CAP while
+        #: the observed skip fraction stays low, shrinks on success.
+        self._backoff_cap = PLAN_BACKOFF_CAP
+        self._fail_streak = 0
+        self._window_mark = 0
+        self._window_skipped = 0
+        #: End of the current dense-kernel window (exclusive); the SM
+        #: main loop hands [cycle, dense_until) to :attr:`kernel` when
+        #: this lies ahead.
+        self.dense_until = 0
+        #: Lazily built DenseStepKernel (mode 3); None until the first
+        #: dense window is entered.
+        self.kernel = None
+        #: Dense windows entered (diagnostics only).
+        self.dense_windows = 0
+        self._dense_enabled = getattr(sm, "dense_kernel", None) \
+            is not False
         self.supported = self._check_supported()
         if use_numpy is None:
             use_numpy = (numpy_available()
@@ -178,15 +225,58 @@ class SpanFastForwarder:
         if target > cycle:
             self._apply(cycle, target)
             self._backoff = 0
+            self._fail_streak = 0
+            self._window_skipped += target - cycle
+            cap = self._backoff_cap
+            if cap > PLAN_BACKOFF_CAP:
+                # Success: walk the adaptive cap back down so a regime
+                # change re-arms frequent planning within a few skips.
+                self._backoff_cap = max(PLAN_BACKOFF_CAP, cap >> 1)
             return target
         # Failed plan: back off exponentially.  Timing only moves span
         # *starts* (a span begun mid-backoff is picked up at the next
         # attempt), never what a skipped span replays.
+        self.sm.stats.planner_overhead_cycles += 1
+        self._fail_streak += 1
         backoff = self._backoff
         self._next_plan = cycle + 1 + backoff
-        if backoff < PLAN_BACKOFF_CAP:
+        if backoff < self._backoff_cap:
             self._backoff = backoff + backoff if backoff else 1
+        else:
+            self._adapt(cycle)
         return cycle
+
+    def _adapt(self, cycle: int) -> None:
+        """Adapt to a persistently unskippable stretch (backoff at cap).
+
+        Measures the skip fraction over the trailing observation window;
+        while it stays under :data:`DENSE_SKIP_FRACTION`, first the
+        backoff cap escalates (cheaper probing), then — with the cap
+        fully escalated and a long uninterrupted fail streak — the next
+        :data:`DENSE_WINDOW` cycles are handed to the dense-step kernel.
+        Adaptation timing, like backoff timing, can only move span
+        starts and hand-over points, never what any cycle computes.
+        """
+        elapsed = cycle - self._window_mark
+        if elapsed < ADAPT_WINDOW:
+            return
+        fraction = self._window_skipped / elapsed
+        self._window_mark = cycle
+        self._window_skipped = 0
+        if fraction >= DENSE_SKIP_FRACTION:
+            return
+        if self._backoff_cap < ADAPTIVE_BACKOFF_CAP:
+            self._backoff_cap <<= 1
+        elif self._dense_enabled \
+                and self._fail_streak >= DENSE_ENTER_STREAK:
+            if self.kernel is None:
+                from repro.sim.kernel import DenseStepKernel
+                self.kernel = DenseStepKernel(self.sm)
+            self.dense_until = cycle + DENSE_WINDOW
+            # Measure the next skip fraction from the window's end, so
+            # re-entry needs only one ADAPT_WINDOW of fresh evidence.
+            self._window_mark = self.dense_until
+            self.dense_windows += 1
 
     # ------------------------------------------------------------------
     # planning

@@ -129,6 +129,20 @@ class WarpScheduler(abc.ABC):
     #: fire on a no-ready cycle is reported by :meth:`idle_flip_pending`.
     supports_idle_skip = False
 
+    #: Native ordering mode for the dense-step kernel
+    #: (:mod:`repro.sim.kernel`), or None to have the kernel build the
+    #: scalar candidate list and call :meth:`order` every cycle (always
+    #: correct, just slower).  A scheduler may declare one of the
+    #: built-in modes only when its ``order`` is *exactly* that
+    #: behaviour: ``"rotate_after_last"`` (rotated ready scan starting
+    #: after the last issuer), ``"rotate_every_cycle"`` (classic LRR —
+    #: the pointer advances every ``order`` call, ready or not), or
+    #: ``"gates"`` (the GATES rank-bucket rotation including its
+    #: per-cycle ``_update_priority``).  The golden identity harness
+    #: pins kernel-forced runs against the scalar path, so a wrong
+    #: declaration fails loudly.
+    dense_order_mode: "str | None" = None
+
     @abc.abstractmethod
     def order(self, cycle: int, candidates: Sequence[IssueCandidate],
               view: SchedulerView) -> List[IssueCandidate]:

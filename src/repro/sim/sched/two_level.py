@@ -33,6 +33,8 @@ class TwoLevelScheduler(WarpScheduler):
     # ``order`` filters on the ready bit immediately; stalled
     # candidates never influence the result.
     needs_all_candidates = False
+    # ``order`` is exactly the rotated ready scan from the last issuer.
+    dense_order_mode = "rotate_after_last"
 
     def __init__(self, n_slots: int = 48) -> None:
         if n_slots < 1:
@@ -67,6 +69,8 @@ class LooseRoundRobinScheduler(WarpScheduler):
     # override below replays exactly that drift.
     supports_idle_skip = True
     needs_all_candidates = False
+    # The dense kernel replays the same every-cycle pointer advance.
+    dense_order_mode = "rotate_every_cycle"
 
     def __init__(self, n_slots: int = 48) -> None:
         if n_slots < 1:

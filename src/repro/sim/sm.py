@@ -182,7 +182,8 @@ class StreamingMultiprocessor:
                  technique: str = "baseline",
                  kernel_gap_cycles: int = 0,
                  bus: Optional[EventBus] = None,
-                 fast_forward: bool = False) -> None:
+                 fast_forward: bool = False,
+                 dense_kernel: Optional[bool] = None) -> None:
         if isinstance(kernel, KernelTrace):
             self.kernels: List[KernelTrace] = [kernel]
         else:
@@ -246,6 +247,13 @@ class StreamingMultiprocessor:
         #: construction count.
         self.fast_forward = fast_forward
         self._forwarder = None
+        #: Dense-step kernel policy (:mod:`repro.sim.kernel`): True
+        #: forces the whole run through the kernel (the identity tests'
+        #: mode), False forbids it, None (default) lets the fast-forward
+        #: planner hand over dense windows when the observed skip
+        #: fraction is low.  Results are bit-identical either way.
+        self.dense_kernel = dense_kernel
+        self._kernel_core = None
         # --- hot-loop state (frozen by _prepare at run start) ---------
         self._prepared = False
         self._pending_threshold = config.memory.pending_threshold
@@ -315,7 +323,14 @@ class StreamingMultiprocessor:
         self._ran = True
         self.scheduler.reset()
         self._prepare()
-        if self.fast_forward:
+        kernel_core = None
+        if self.dense_kernel is True:
+            # Forced mode: the entire run executes through the dense
+            # kernel (bit-identical by construction; the golden tests
+            # pin it).  Takes precedence over fast-forwarding.
+            from repro.sim.kernel import DenseStepKernel
+            kernel_core = self._kernel_core = DenseStepKernel(self)
+        elif self.fast_forward:
             from repro.sim.fastforward import SpanFastForwarder
             self._forwarder = SpanFastForwarder(self)
         if self.bus.enabled:
@@ -330,10 +345,22 @@ class StreamingMultiprocessor:
                 raise RuntimeError(
                     f"{self.kernel.name}: no drain after "
                     f"{max_cycles} cycles (deadlock?)")
+            if kernel_core is not None:
+                cycle = kernel_core.run_window(cycle, max_cycles)
+                continue
             if forwarder is not None:
                 skipped_to = forwarder.advance(cycle)
                 if skipped_to != cycle:
                     cycle = skipped_to
+                    continue
+                dense_until = forwarder.dense_until
+                if dense_until > cycle:
+                    # Mode 3: the planner judged this window dense —
+                    # hand it to the batched kernel instead of paying
+                    # per-cycle planning with nothing to skip.
+                    end = dense_until if dense_until < max_cycles \
+                        else max_cycles
+                    cycle = forwarder.kernel.run_window(cycle, end)
                     continue
             step(cycle)
             cycle += 1

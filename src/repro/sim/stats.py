@@ -169,6 +169,15 @@ class SMStats:
     active_warp_max: int = 0
     pending_warp_sum: int = 0
 
+    #: Cycles on which the span fast-forward planner ran a full plan
+    #: and failed (pure overhead — nothing was skipped).  Deliberately
+    #: NOT exported to the metrics registry: a fast-forwarded run's
+    #: metrics must stay byte-identical to the serial run's (the golden
+    #: identity harness digests ``result.metrics`` wholesale), and
+    #: serial runs never plan.  Surfaced through the bench rows instead
+    #: (``benchmarks/bench_core.py``).
+    planner_overhead_cycles: int = 0
+
     # name -> tracker for every pipeline in the SM.
     idle_trackers: Dict[str, IdlePeriodTracker] = field(default_factory=dict)
 

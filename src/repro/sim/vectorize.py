@@ -26,7 +26,8 @@ the planner simply never builds a batch.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import os
+from typing import List, Optional, Tuple
 
 from repro.isa.optypes import OpClass
 
@@ -34,6 +35,12 @@ try:  # pragma: no cover - exercised implicitly by the import outcome
     import numpy as _np
 except ImportError:  # pragma: no cover - container always has numpy
     _np = None
+
+#: Environment switch forcing the pure-Python paths everywhere numpy is
+#: optional (the planner batch and the dense-step kernel).  Lets a
+#: numpy-equipped container prove the no-numpy install behaves — and
+#: digests — identically, without actually uninstalling anything.
+PURE_PYTHON_ENV = "REPRO_PURE_PYTHON"
 
 #: Stable op-class indexing for the per-row class column.
 OP_CLASSES: Tuple[OpClass, ...] = tuple(OpClass)
@@ -45,7 +52,15 @@ NO_HEAD, KNOWN, UNRESOLVED = 0, 1, 2
 
 
 def numpy_available() -> bool:
-    """True when the batched scan can be built at all."""
+    """True when the batched scans can be built at all.
+
+    Honours :data:`PURE_PYTHON_ENV`: setting ``REPRO_PURE_PYTHON=1``
+    makes a numpy-equipped install behave exactly like one without
+    numpy, which is how CI proves the scalar fallbacks are
+    decision-identical.
+    """
+    if os.environ.get(PURE_PYTHON_ENV):
+        return False
     return _np is not None
 
 
@@ -137,5 +152,68 @@ class HeadStatusBatch:
         return (False, pending, bool(unresolved.any()), actv, bound)
 
 
-__all__ = ["HeadStatusBatch", "NO_HEAD", "KNOWN", "UNRESOLVED",
-           "OP_CLASSES", "numpy_available"]
+class WarpStateBlock(HeadStatusBatch):
+    """Full per-slot SoA state block for the dense-step kernel.
+
+    Extends the planner's head-status mirror with the extra per-slot
+    columns the dense kernel's classify stage consumes every cycle:
+    the head instruction's age (for candidate construction) and its
+    destination register (for issue bookkeeping without touching the
+    instruction object on the hot path).  Rows follow the same
+    ``(popped, scoreboard version)`` stamp discipline as the base
+    class, so the kernel's incremental-sync rules are identical to the
+    planner's.
+    """
+
+    __slots__ = ("age", "head_dest")
+
+    def __init__(self, n_slots: int) -> None:
+        super().__init__(n_slots)
+        self.age = _np.zeros(n_slots, dtype=_np.int64)
+        self.head_dest = _np.full(n_slots, -1, dtype=_np.int32)
+
+    def update_row(self, slot: int, popped: int, version: int,
+                   ready_at: int, mem_until: int, unresolved: bool,
+                   op_class: OpClass, age: int, dest: int) -> None:
+        """Overwrite one row including the dense-kernel columns."""
+        self.update(slot, popped, version, ready_at, mem_until,
+                    unresolved, op_class)
+        self.age[slot] = age
+        self.head_dest[slot] = dest
+
+    def dense_classify(self, cycle: int, want_active: bool = False):
+        """Per-cycle classification for the dense kernel.
+
+        Unlike :meth:`classify` (which exists to *prove* no warp is
+        ready), the dense kernel needs the full picture every cycle:
+
+        Returns ``(n_active, n_pending, actv, ready, active_slots)``:
+
+        * ``n_active`` / ``n_pending`` — active / pending warp counts
+          (plain ints, digest-safe);
+        * ``actv`` — active-set occupancy per :data:`OP_CLASSES` as a
+          plain list of ints;
+        * ``ready`` — int64 array of ready slots in ascending slot
+          order, or ``None`` when no head can issue at ``cycle``;
+        * ``active_slots`` — ascending list of active slots when
+          ``want_active`` (schedulers that need all candidates), else
+          ``None``.
+        """
+        status = self.status
+        known = status == KNOWN
+        pending_mem = known & (self.mem_until > cycle)
+        active = known & ~pending_mem
+        n_active = int(_np.count_nonzero(active))
+        n_heads = int(_np.count_nonzero(status))
+        actv: List[int] = _np.bincount(
+            self.op_index[active], minlength=len(OP_CLASSES)).tolist()
+        ready_mask = active & (self.ready_at <= cycle)
+        ready = _np.flatnonzero(ready_mask) if ready_mask.any() else None
+        active_slots = (_np.flatnonzero(active).tolist()
+                        if want_active else None)
+        return n_active, n_heads - n_active, actv, ready, active_slots
+
+
+__all__ = ["HeadStatusBatch", "WarpStateBlock", "NO_HEAD", "KNOWN",
+           "UNRESOLVED", "OP_CLASSES", "PURE_PYTHON_ENV",
+           "numpy_available"]

@@ -116,18 +116,22 @@ def event_stream_digest(events) -> str:
 # ----------------------------------------------------------------------
 
 def run_golden_cell(benchmark: str, technique_value: str,
-                    fast_forward: bool = False):
+                    fast_forward: bool = False,
+                    dense_kernel: "bool | None" = None):
     """One single-SM golden run (serial by default).
 
     ``fast_forward=True`` runs the same cell through the event-driven
-    span core; its digest must equal the serial one — that equality is
-    what pins the fast-forward path bit-identical.
+    span core; ``dense_kernel=True`` forces it through the dense-step
+    kernel (:mod:`repro.sim.kernel`).  Either flavour's digest must
+    equal the serial one — those equalities are what pin the alternate
+    execution paths bit-identical.
     """
     from repro.core.techniques import (Technique, TechniqueConfig,
                                        run_benchmark)
     return run_benchmark(benchmark, TechniqueConfig(Technique(technique_value)),
                          seed=0, scale=GOLDEN_SCALE,
-                         fast_forward=fast_forward)
+                         fast_forward=fast_forward,
+                         dense_kernel=dense_kernel)
 
 
 def run_golden_device(benchmark: str, technique_value: str,
@@ -213,6 +217,13 @@ def compute_goldens() -> dict:
             device = run_golden_device(benchmark, technique)
             digests[f"device/{benchmark}/{technique}"] = \
                 device_result_digest(device)
+            # The dense-step kernel must reproduce the serial digest
+            # exactly; the entry is recorded under its own key so a
+            # kernel-only drift is named by the failing key.
+            forced = run_golden_cell(benchmark, technique,
+                                     dense_kernel=True)
+            digests[f"kernel/{benchmark}/{technique}"] = \
+                result_digest(forced)
     result, events = run_instrumented_golden()
     digests["events/hotspot/warped_gates"] = event_stream_digest(events)
     digests["events/hotspot/warped_gates/result"] = result_digest(result)

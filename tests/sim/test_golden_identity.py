@@ -54,6 +54,26 @@ def test_fast_forward_digest_matches_golden(bench_name, technique):
 
 
 @pytest.mark.parametrize("bench_name,technique", _CELLS)
+def test_dense_kernel_digest_matches_golden(bench_name, technique):
+    """The dense-step kernel reproduces the serial digest.
+
+    ``dense_kernel=True`` forces every cycle of the run through
+    :class:`repro.sim.kernel.DenseStepKernel` — the committed
+    ``kernel/...`` references equal the serial cell digests by
+    construction, so this pins batched classify/issue/writeback
+    bit-identical to ``SM._step`` for every golden technique.
+    """
+    result = run_golden_cell(bench_name, technique, dense_kernel=True)
+    digest = result_digest(result)
+    assert digest == GOLDENS[f"kernel/{bench_name}/{technique}"], (
+        f"dense-kernel {technique} on {bench_name} drifted from its "
+        "committed digest")
+    assert digest == GOLDENS[f"{bench_name}/{technique}"], (
+        f"dense-kernel {technique} on {bench_name} diverged from the "
+        "serial core — the batched step changed observable behaviour")
+
+
+@pytest.mark.parametrize("bench_name,technique", _CELLS)
 def test_device_digest_matches_golden(bench_name, technique):
     """Each cell at full-chip scale reproduces its committed digest.
 
