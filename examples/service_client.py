@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Simulation service end to end: serve, submit, dedupe, stream, verify.
+
+Starts the JSON-over-HTTP service in-process (the same server
+``python -m repro serve`` runs), then drives the stdlib client through
+the whole API surface:
+
+1. submit one job and watch its event feed stream back as JSONL;
+2. submit the *same* request again and observe single-flight dedupe
+   (same job id, no second simulation);
+3. fetch the settled result and check its canonical digest against a
+   local in-process run of the same spec — the serve path changes
+   nothing about the numbers.
+
+Usage::
+
+    python examples/service_client.py [benchmark] [--scale 0.25]
+"""
+
+import argparse
+import asyncio
+import json
+import threading
+
+from repro.core.digest import result_digest
+from repro.engine import ParallelEngine
+from repro.harness.experiment import ExperimentRunner, ExperimentSettings
+from repro.service.api import ServiceAPI
+from repro.service.client import ServiceClient
+from repro.service.core import SimulationService
+from repro.workloads.specs import BENCHMARK_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="bfs",
+                        choices=BENCHMARK_NAMES)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="workload scale factor (default 0.25)")
+    args = parser.parse_args()
+
+    # -- a live server on a background event loop ----------------------
+    engine = ParallelEngine(jobs=1, cache_dir=None)
+    service = SimulationService(engine=engine)
+    api = ServiceAPI(service, port=0)  # port 0: pick a free one
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    port = asyncio.run_coroutine_threadsafe(api.start(), loop).result(10)
+    print(f"service up on 127.0.0.1:{port}\n")
+
+    try:
+        client = ServiceClient("127.0.0.1", port)
+
+        # 1. submit, then stream the job's event feed (replay + live)
+        request = {"benchmark": args.benchmark,
+                   "technique": "warped_gates", "scale": args.scale}
+        accepted = client.submit(request)
+        job_id = accepted["job_id"]
+        print(f"submitted {accepted['label']} as job {job_id}")
+        print("event feed:")
+        for record in client.stream(job_id):
+            print("  " + json.dumps(record, default=str))
+
+        # 2. the same request dedupes onto the same job — no rerun
+        again = client.submit(request)
+        print(f"\nresubmitted: job {again['job_id']} "
+              f"deduped={again['deduped']} "
+              f"submissions={again['submissions']}")
+
+        # 3. settled result + digest parity with a local run
+        result = client.wait(job_id, timeout=600)
+        print(f"\nresult: state={result['state']} "
+              f"cycles={result['cycles']}")
+        print(f"served digest: {result['digest']}")
+        local = ExperimentRunner(ExperimentSettings(
+            scale=args.scale,
+            benchmarks=(args.benchmark,))).run(args.benchmark,
+                                               "warped_gates")
+        match = result["digest"] == result_digest(local)
+        print(f"local  digest: {result_digest(local)}")
+        print(f"digest parity with in-process run: "
+              f"{'OK' if match else 'MISMATCH'}")
+        if not match:
+            raise SystemExit(1)
+    finally:
+        asyncio.run_coroutine_threadsafe(api.stop(), loop).result(60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+        service.close()
+
+
+if __name__ == "__main__":
+    main()

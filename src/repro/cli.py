@@ -15,6 +15,12 @@ Commands:
 * ``sweep``         — Figure 11 parameter sweeps (``bet`` / ``wakeup``).
 * ``runs``          — query past engine batches from the run ledger
   (``list`` / ``show <run>``).
+* ``serve``         — run the simulation service as a JSON-over-HTTP
+  daemon (submit/status/result/stream endpoints over one shared
+  single-flight core).
+* ``submit``        — client side of ``serve``: submit one job to a
+  running service, optionally stream its event feed and wait for the
+  settled result.
 * ``spec``          — inspect (``show``) or check (``validate``)
   declarative technique specs.
 
@@ -211,6 +217,44 @@ def build_parser() -> argparse.ArgumentParser:
         "replicate", help="multi-seed replication of the headline table")
     replicate_cmd.add_argument("--seeds", type=int, default=3,
                                help="number of seeds (default 3)")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the simulation service over HTTP "
+                      "(submit/status/result/stream)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8352,
+                           help="bind port; 0 picks a free one "
+                                "(default 8352)")
+    serve_cmd.add_argument("--max-pending", type=int, default=64,
+                           metavar="N",
+                           help="admission bound: submissions past N "
+                                "unsettled jobs get 429 (default 64)")
+
+    submit_cmd = sub.add_parser(
+        "submit", help="submit one job to a running 'repro serve'")
+    submit_cmd.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    submit_cmd.add_argument("technique", nargs="?", default=None,
+                            type=_technique_name,
+                            help="registered technique name; omit when "
+                                 "using --spec")
+    submit_cmd.add_argument("--spec", metavar="PATH", default=None,
+                            dest="spec_file",
+                            help="submit a technique defined by a JSON "
+                                 "spec file instead of a registered name")
+    submit_cmd.add_argument("--host", default="127.0.0.1",
+                            help="service address (default 127.0.0.1)")
+    submit_cmd.add_argument("--port", type=int, default=8352,
+                            help="service port (default 8352)")
+    submit_cmd.add_argument("--wait", type=float, default=600.0,
+                            metavar="SECONDS",
+                            help="how long to wait for the settled "
+                                 "result (default 600)")
+    submit_cmd.add_argument("--no-wait", action="store_true",
+                            help="submit and exit without waiting")
+    submit_cmd.add_argument("--stream", action="store_true",
+                            help="print the job's event feed (JSONL) "
+                                 "while it runs")
 
     spec_cmd = sub.add_parser(
         "spec", help="inspect or validate technique specs")
@@ -778,12 +822,14 @@ def cmd_runs(args: argparse.Namespace) -> int:
 
     root = _ledger_root(args)
     if args.runs_command == "list":
-        summaries = list_runs(root)
+        # The limit is pushed into list_runs: only the newest N ledger
+        # files are parsed, so listing stays O(limit) as runs pile up.
+        summaries = list_runs(root, limit=args.limit)
         if not summaries:
             print(f"no recorded runs under {root}")
             return 0
         rows = []
-        for summary in summaries[-args.limit:]:
+        for summary in summaries:
             counts = summary.get("counts", {})
             bad = sum(n for status, n in counts.items()
                       if status != "ok")
@@ -831,6 +877,89 @@ def cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service as an HTTP daemon.
+
+    The daemon wraps the same engine the batch commands build from the
+    global flags (``--jobs``, cache, fault policy, telemetry), so a
+    served job and a local ``repro run`` of the same spec produce the
+    same digest — and share the same persistent cache.  Ctrl-C drains
+    gracefully: the listener closes first, then in-flight jobs finish.
+    """
+    import asyncio
+
+    from repro.service.api import serve
+    from repro.service.core import SimulationService
+
+    service = SimulationService(engine=_engine(args))
+
+    def ready(port: int) -> None:
+        print(f"repro service listening on http://{args.host}:{port}",
+              flush=True)
+
+    try:
+        asyncio.run(serve(service, host=args.host, port=args.port,
+                          max_pending=args.max_pending, ready=ready))
+    except KeyboardInterrupt:
+        print("shutting down (drained in-flight jobs)", file=sys.stderr)
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running service; optionally stream + wait.
+
+    Exit codes mirror ``repro run``: 0 when the job settled ok (or
+    ``--no-wait`` was given), 2 when it terminally failed.
+    """
+    from repro.service.client import ServiceClient, ServiceError
+
+    if (args.technique is None) == (args.spec_file is None):
+        raise SystemExit(
+            "error: give exactly one of a technique name or --spec FILE")
+    request: dict = {"benchmark": args.benchmark,
+                     "seed": args.seed, "scale": args.scale}
+    if args.spec_file:
+        request["spec"] = _load_spec_file(args.spec_file).to_dict()
+    else:
+        request["technique"] = args.technique
+    if args.no_fast_forward:
+        request["fast_forward"] = False
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        doc = client.submit(request)
+    except (ServiceError, OSError) as exc:
+        raise SystemExit(f"error: submit to {args.host}:{args.port} "
+                         f"failed: {exc}") from exc
+    job_id = str(doc["job_id"])
+    dedup = " (deduped onto an existing job)" if doc.get("deduped") else ""
+    print(f"job {job_id}  {doc.get('label')}  "
+          f"state={doc.get('state')}{dedup}")
+    if args.stream:
+        for record in client.stream(job_id):
+            print(json.dumps(record, default=str))
+    if args.no_wait:
+        return 0
+    try:
+        result = client.wait(job_id, timeout=args.wait)
+    except (ServiceError, OSError, TimeoutError) as exc:
+        raise SystemExit(f"error: waiting on job {job_id} failed: "
+                         f"{exc}") from exc
+    rows = [
+        ("state", result.get("state")),
+        ("digest", result.get("digest")),
+        ("cycles", result.get("cycles")),
+        ("attempts", result.get("attempts")),
+    ]
+    if result.get("error"):
+        rows.append(("error", last_error_line(str(result["error"]))[:60]))
+    print(format_table(("field", "value"), rows,
+                       title=f"job {job_id}: {result.get('label')}"))
+    return 0 if result.get("state") == "ok" else 2
+
+
 def cmd_spec(args: argparse.Namespace) -> int:
     """Inspect (``show``) or check (``validate``) technique specs."""
     if args.spec_command == "show":
@@ -860,6 +989,8 @@ COMMANDS = {
     "energy": cmd_energy,
     "replicate": cmd_replicate,
     "runs": cmd_runs,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
     "spec": cmd_spec,
 }
 

@@ -18,7 +18,10 @@ The store is managed, not just a pile of pickles:
 
 * **Atomic writes** (temp file + ``os.replace``) so parallel workers
   can race on the same key safely — last writer wins with an identical
-  payload.
+  payload.  The rename is the only publication barrier: readers see
+  either the complete old entry or the complete new one, never a
+  partial write, and a writer whose temp file is swept out from under
+  it (a mis-tuned janitor in another process) transparently rewrites.
 * **Payload checksums**: every entry is ``MAGIC + sha256(payload) +
   payload``.  A truncated or bit-flipped entry fails verification and
   reads as a miss — it is never unpickled — as does any pre-checksum
@@ -33,6 +36,13 @@ The store is managed, not just a pile of pickles:
   scan on the first capped write, O(1) per write after that), so the
   full scan is only re-paid when eviction actually runs — which also
   re-syncs the total against other processes' writes.
+* **Cross-process maintenance lock**: the janitor sweep and the LRU
+  evictor take a non-blocking ``flock`` on ``.maintenance.lock`` in
+  the cache root, so at most one process performs a destructive sweep
+  at a time.  Losing the race is fine — the other process is doing
+  the same work — so the loser just skips its turn.  Entry reads and
+  writes never take the lock: the rename barrier already makes them
+  safe, and a lock there would serialise the hot path for nothing.
 """
 
 from __future__ import annotations
@@ -44,8 +54,14 @@ import os
 import pickle
 import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Iterator, Optional, Union
+
+try:  # POSIX only; the lock degrades to a no-op elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.obs.telemetry import (
     CacheEvicted,
@@ -72,6 +88,47 @@ _HEADER_LEN = len(MAGIC) + 32
 #: Temp files older than this (seconds) are presumed orphaned by a
 #: killed worker and swept; younger ones may be a live writer's.
 STALE_TMP_AGE = 3600.0
+
+#: Advisory lock file (cache root) serialising destructive maintenance
+#: (janitor sweep, LRU eviction) across processes.
+LOCK_FILENAME = ".maintenance.lock"
+
+
+@contextmanager
+def maintenance_lock(root: Union[str, Path],
+                     blocking: bool = False) -> Iterator[bool]:
+    """Advisory cross-process lock over one cache root.
+
+    Yields True when the lock was acquired, False when another process
+    holds it (non-blocking mode).  ``flock`` locks die with their
+    holder, so a killed sweeper can never wedge the cache.  On
+    platforms without ``fcntl`` the lock is a no-op that always
+    acquires — single-process correctness there still comes from the
+    rename barrier.
+    """
+    root = Path(root)
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield True
+        return
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        handle = open(root / LOCK_FILENAME, "a+b")
+    except OSError:
+        yield True  # unlockable root: fall back to rename-barrier only
+        return
+    try:
+        flags = fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB)
+        try:
+            fcntl.flock(handle, flags)
+        except OSError:
+            yield False
+            return
+        try:
+            yield True
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+    finally:
+        handle.close()
 
 
 class RunCache:
@@ -154,23 +211,40 @@ class RunCache:
         return value
 
     def put(self, group: str, key: str, value: Any) -> None:
-        """Store an entry atomically (concurrent writers are safe)."""
+        """Store an entry atomically (concurrent writers are safe).
+
+        ``os.replace`` is the publication barrier: readers observe the
+        complete old entry or the complete new one.  If another
+        process's janitor swept our temp file before the rename (only
+        possible with a sweep cutoff shorter than our write time), the
+        write is retried once with a fresh — therefore young — temp
+        file.
+        """
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         blob = MAGIC + hashlib.sha256(payload).digest() + payload
         path = self.path(group, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
-                                        prefix=f".{key}.", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp_name, path)
-        except BaseException:
+        for retry in (False, True):
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key}.", suffix=".tmp")
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, path)
+                break
+            except FileNotFoundError:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                if retry:
+                    raise
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
         if self.max_bytes is not None:
             if self._approx_bytes is None:
                 self._approx_bytes = self.total_bytes()
@@ -202,7 +276,15 @@ class RunCache:
         otherwise litter the cache forever.  Only files older than
         ``max_age`` (default: the cache's ``stale_tmp_age``) go — a
         fresh temp file may belong to a concurrent writer mid-flight.
+        At most one process sweeps at a time (advisory flock); a loser
+        skips its turn, since the winner is doing the same work.
         """
+        with maintenance_lock(self.root) as held:
+            if not held:
+                return 0
+            return self._sweep_tmp_locked(max_age)
+
+    def _sweep_tmp_locked(self, max_age: Optional[float]) -> int:
         cutoff = time.time() - (self.stale_tmp_age if max_age is None
                                 else max_age)
         removed = 0
@@ -244,8 +326,20 @@ class RunCache:
         via ``os.utime``.  Racing processes may evict each other's
         entries; an evicted entry is simply a future miss.  The scan's
         exact total replaces the incremental estimate, correcting any
-        drift from overwrites or concurrent writers.
+        drift from overwrites or concurrent writers.  The advisory
+        maintenance lock keeps concurrent evictors from double-deleting
+        one pass; a loser drops its size estimate so the next capped
+        write re-measures against the winner's result.
         """
+        with maintenance_lock(self.root) as held:
+            if not held:
+                # Another process is evicting right now; its pass
+                # changes the on-disk total, so forget ours.
+                self._approx_bytes = None
+                return
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
         stamped = []
         total = 0
         for path in self._entries():

@@ -12,21 +12,18 @@ hand-built spec all land on the same memo cell.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.spec import TechniqueSpec, as_spec
 from repro.core.techniques import (
     PAPER_TECHNIQUES,
     Technique,
-    build_sm,
 )
-from repro.engine.faults import JobFailedError, last_error_line
 from repro.isa.optypes import ExecUnitKind
 from repro.obs.bus import EventBus
-from repro.obs.manifest import RunManifest, config_hash
+from repro.obs.manifest import RunManifest
 from repro.power.energy import domain_energy, EnergyBreakdown
 from repro.power.params import (
     EnergyParams,
@@ -34,13 +31,12 @@ from repro.power.params import (
     GatingParams,
     INT_DYN_PER_ISSUE,
 )
+from repro.service.core import JobRequest, JobTicket, SimulationService
 from repro.sim.config import SMConfig
 from repro.sim.sm import SimResult
-from repro.workloads.registry import build_kernel
 from repro.workloads.specs import (
     BENCHMARK_NAMES,
     INTEGER_ONLY_BENCHMARKS,
-    get_profile,
 )
 
 
@@ -75,10 +71,15 @@ class ExperimentSettings:
 class ExperimentRunner:
     """Runs and caches (benchmark, technique) simulations.
 
-    ``settings`` defaults to a fresh :class:`ExperimentSettings` built
-    *per runner* (never a shared module-level instance).  ``bus``, when
-    given, is wired into every SM the runner builds — enable it and
-    attach exporters to stream events from the runs.
+    The runner is a thin, figure-oriented veneer over the
+    :class:`~repro.service.core.SimulationService` — since the service
+    refactor it resolves techniques against the campaign's settings,
+    builds :class:`~repro.service.core.JobRequest`\\ s, and lets the
+    service dedupe, execute and memoise.  ``settings`` defaults to a
+    fresh :class:`ExperimentSettings` built *per runner* (never a
+    shared module-level instance).  ``bus``, when given, is wired into
+    every SM the service builds inline — enable it and attach exporters
+    to stream events from the runs.
 
     ``engine``, when given, routes uncached simulations through the
     parallel engine (:class:`repro.engine.pool.ParallelEngine`): they
@@ -91,25 +92,33 @@ class ExperimentRunner:
     workers relay digested events to the parent bus; each
     :meth:`prefetch` grid also lands in the run ledger.)
 
+    ``service``, when given, shares an existing
+    :class:`SimulationService` (and its single-flight memo) with other
+    runners — the replication harness hands one service to every
+    per-seed runner; ``bus``/``engine`` are then taken from it.
+
     Every simulation appends a :class:`RunManifest` to
     ``self.manifests``: the run's exact configuration (hashed), its
     wall-clock cost per phase and its simulated-cycles/second
     throughput — the provenance record the CLI's ``--profile`` flag
-    surfaces.
+    surfaces.  Manifests are per-runner (each runner records the cells
+    *it* read, once each), while results are memoised service-wide.
     """
 
     def __init__(self, settings: Optional[ExperimentSettings] = None,
                  bus: Optional[EventBus] = None,
-                 engine=None):
+                 engine=None,
+                 service: Optional[SimulationService] = None):
         self.settings = settings if settings is not None \
             else ExperimentSettings()
-        self.bus = bus
-        self.engine = engine if bus is None else None
-        self._cache: Dict[Tuple, SimResult] = {}
-        #: Cells whose job terminally failed, keyed like ``_cache`` —
-        #: a failed cell raises on access instead of re-simulating.
-        self._failed: Dict[Tuple, object] = {}
-        #: Provenance records, one per uncached simulation, in run order.
+        self.service = service if service is not None \
+            else SimulationService(engine=engine, bus=bus)
+        self.bus = self.service.bus
+        self.engine = self.service.engine
+        #: Tickets whose manifests this runner has recorded already.
+        self._recorded: Set[str] = set()
+        #: Provenance records, one per simulation read through this
+        #: runner (cells are recorded once per runner), in run order.
         self.manifests: List[RunManifest] = []
 
     def _resolve(self, technique,
@@ -132,55 +141,46 @@ class ExperimentRunner:
             spec = replace(spec, adaptive=adaptive)
         return spec
 
-    def _key(self, benchmark: str, spec: TechniqueSpec) -> Tuple:
-        return (benchmark, spec.spec_hash(),
-                self.settings.seed, self.settings.scale)
+    def _request(self, benchmark: str,
+                 spec: TechniqueSpec) -> JobRequest:
+        """One service request under this campaign's settings.
 
-    def _job(self, benchmark: str, spec: TechniqueSpec):
-        from repro.engine.jobs import SimJob
-        return SimJob(benchmark=benchmark, config=spec,
-                      sm_config=self.settings.sm_config,
-                      seed=self.settings.seed, scale=self.settings.scale,
-                      fast_forward=self.engine.fast_forward)
+        ``fast_forward=None`` defers to the executing path (the
+        engine's configured default, plain serial inline) — exactly
+        the pre-service behaviour.
+        """
+        return JobRequest(benchmark=benchmark, technique=spec,
+                          sm_config=self.settings.sm_config,
+                          seed=self.settings.seed,
+                          scale=self.settings.scale)
+
+    def _record(self, ticket: JobTicket) -> None:
+        """Append the ticket's manifest once per runner."""
+        if ticket.outcome is None or ticket.job_id in self._recorded:
+            return
+        self._recorded.add(ticket.job_id)
+        self.manifests.append(ticket.outcome.manifest)
 
     def run(self, benchmark: str, technique,
             gating: Optional[GatingParams] = None,
             adaptive: Optional[AdaptiveConfig] = None) -> SimResult:
-        """Run one configuration (memoised).
+        """Run one configuration (memoised service-wide).
 
         ``technique`` is anything :func:`repro.core.spec.as_spec`
         resolves: a :class:`Technique` member, a registered name, or a
         :class:`~repro.core.spec.TechniqueSpec`.  A cell whose engine
         job terminally failed (exception, timeout, fail-fast
         cancellation — after any retries) raises
-        :class:`JobFailedError`; the failure is memoised too, so the
-        cell is never silently re-simulated within this runner.
+        :class:`~repro.engine.faults.JobFailedError`; the failure is
+        memoised too, so the cell is never silently re-simulated.
         """
         spec = self._resolve(technique, gating, adaptive)
-        key = self._key(benchmark, spec)
-        if key in self._failed:
-            self._raise_failure(benchmark, spec, self._failed[key])
-        if key not in self._cache:
-            if self.engine is not None:
-                outcome = self.engine.run_sim_job(
-                    self._job(benchmark, spec))
-                self.manifests.append(outcome.manifest)
-                if not outcome.ok:
-                    self._failed[key] = outcome
-                    self._raise_failure(benchmark, spec, outcome)
-                self._cache[key] = outcome.result
-            else:
-                self._cache[key] = self._run_uncached(benchmark, spec)
-        return self._cache[key]
-
-    @staticmethod
-    def _raise_failure(benchmark: str, spec: TechniqueSpec,
-                       outcome) -> None:
-        reason = last_error_line(outcome.error) or outcome.status.value
-        raise JobFailedError(
-            f"{benchmark}/{spec.name} {outcome.status.value} "
-            f"after {outcome.attempts} attempt(s): {reason}",
-            status=outcome.status, error=outcome.error)
+        ticket, _ = self.service.submit(self._request(benchmark, spec))
+        try:
+            self.service.execute(ticket)
+        finally:
+            self._record(ticket)
+        return ticket.result()
 
     @property
     def failures(self) -> List[RunManifest]:
@@ -193,64 +193,25 @@ class ExperimentRunner:
         ``requests`` are ``(benchmark, technique)`` or
         ``(benchmark, technique, gating)`` or
         ``(benchmark, technique, gating, adaptive)`` tuples.  Already-
-        memoised cells are skipped; the rest fan out over the engine's
-        worker pool and land in the in-memory cache, so subsequent
-        :meth:`run` calls (and every derived metric) are pure lookups.
-        Without an engine this is a no-op — the serial path computes
-        lazily as before.
+        memoised cells are skipped (service-wide single-flight); the
+        rest fan out over the engine's worker pool as one ledgered
+        batch, so subsequent :meth:`run` calls (and every derived
+        metric) are pure lookups.  Without an engine this is a no-op —
+        the serial path computes lazily as before.
         """
         if self.engine is None:
             return
-        keys = []
-        jobs = []
-        seen = set()
+        job_requests = []
         for request in requests:
             benchmark, technique = request[0], request[1]
             gating = request[2] if len(request) > 2 else None
             adaptive = request[3] if len(request) > 3 else None
             spec = self._resolve(technique, gating, adaptive)
-            key = self._key(benchmark, spec)
-            if key in self._cache or key in self._failed or key in seen:
-                continue
-            seen.add(key)
-            keys.append(key)
-            jobs.append(self._job(benchmark, spec))
-        if not jobs:
-            return
-        for key, outcome in zip(keys, self.engine.run_sim_jobs(jobs)):
-            self.manifests.append(outcome.manifest)
-            if outcome.ok:
-                self._cache[key] = outcome.result
-            else:
-                # Partial grids complete: the failure is memoised and
-                # surfaces as JobFailedError when the cell is read.
-                self._failed[key] = outcome
-
-    def _run_uncached(self, benchmark: str,
-                      spec: TechniqueSpec) -> SimResult:
-        """Simulate one configuration, recording its manifest."""
-        settings = self.settings
-        t0 = time.perf_counter()
-        kernel = build_kernel(benchmark, seed=settings.seed,
-                              scale=settings.scale)
-        t1 = time.perf_counter()
-        sm = build_sm(kernel, spec, sm_config=settings.sm_config,
-                      dram_latency=get_profile(benchmark).dram_latency,
-                      bus=self.bus)
-        result = sm.run()
-        t2 = time.perf_counter()
-        self.manifests.append(RunManifest(
-            benchmark=benchmark,
-            technique=spec.name,
-            seed=settings.seed,
-            scale=settings.scale,
-            config_hash=config_hash(spec.spec_hash(), settings.sm_config),
-            cycles=result.cycles,
-            instructions=result.stats.instructions_retired,
-            wall_seconds={"build_trace": t1 - t0, "simulate": t2 - t1},
-            events_published=sm.bus.events_published,
-            spec=spec.to_dict()))
-        return result
+            job_requests.append(self._request(benchmark, spec))
+        for ticket in self.service.prefetch(job_requests):
+            # Partial grids complete: failed cells are memoised by the
+            # service and surface as JobFailedError when read.
+            self._record(ticket)
 
     def baseline(self, benchmark: str) -> SimResult:
         """The no-gating two-level reference run for one benchmark."""

@@ -25,6 +25,7 @@ from repro.harness.experiment import (
 )
 from repro.isa.optypes import ExecUnitKind
 from repro.obs.manifest import RunManifest
+from repro.service.core import SimulationService
 
 
 @dataclass(frozen=True)
@@ -74,14 +75,18 @@ def replicate(settings: ExperimentSettings,
               techniques: Sequence[Technique] = PAPER_TECHNIQUES,
               engine=None,
               failure_log: Optional[List[RunManifest]] = None,
+              service: Optional[SimulationService] = None,
               ) -> List[ReplicatedResult]:
     """Run the headline experiment once per seed and aggregate.
 
-    Each seed gets its own runner (fresh traces throughout); within a
-    seed the usual identical-trace comparison across techniques holds.
-    With an ``engine``, each seed's full (benchmark × technique) grid
-    is prefetched over the worker pool before the serial metric loops
-    read it back from memory.
+    Each seed gets its own runner (fresh traces throughout) but all
+    seeds share one :class:`SimulationService` — request keys carry the
+    seed, so cells never alias, and the shared single-flight memo means
+    re-running a seed costs nothing.  Within a seed the usual
+    identical-trace comparison across techniques holds.  With an
+    ``engine`` (or a ``service`` wrapping one), each seed's full
+    (benchmark × technique) grid is prefetched over the worker pool
+    before the serial metric loops read it back from memory.
 
     A benchmark that terminally fails *any* of its cells under the
     engine (baseline or any technique) is dropped from the whole seed —
@@ -94,12 +99,14 @@ def replicate(settings: ExperimentSettings,
     """
     if not seeds:
         raise ValueError("need at least one seed")
+    if service is None:
+        service = SimulationService(engine=engine)
     per_technique: Dict[Technique, Dict[str, List[float]]] = {
         t: {"int": [], "fp": [], "perf": []} for t in techniques}
     coverage: List[int] = []
     for seed in seeds:
         runner = ExperimentRunner(replace(settings, seed=seed),
-                                  engine=engine)
+                                  service=service)
         runner.prefetch(
             [(name, tech)
              for name in runner.settings.benchmarks

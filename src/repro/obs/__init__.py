@@ -23,6 +23,9 @@ The subsystem has four pieces, all usable independently:
   recorder behind ``repro runs list|show``.
 * :mod:`repro.obs.progress` — the TTY-aware live progress renderer
   behind ``--progress``.
+* :mod:`repro.obs.subscribe` — pull-style subscriptions over the push
+  machinery: replayable :class:`Feed`\\ s (the service's per-job event
+  streams), queue-backed bus taps, and live run-ledger following.
 """
 
 from repro.obs.bus import NULL_BUS, EventBus
@@ -67,6 +70,12 @@ from repro.obs.metrics import (
     metric_key,
 )
 from repro.obs.progress import ProgressReporter
+from repro.obs.subscribe import (
+    FEED_CLOSED,
+    EventTap,
+    Feed,
+    iter_ledger_records,
+)
 from repro.obs.telemetry import (
     ENGINE_EVENT_TYPES,
     CacheEvicted,
@@ -80,6 +89,8 @@ from repro.obs.telemetry import (
     JobRetry,
     JobStarted,
     PoolRebuilt,
+    ServiceJobAccepted,
+    ServiceJobStateChanged,
     TelemetrySettings,
     WorkerEventSummary,
 )
@@ -96,7 +107,9 @@ __all__ = [
     "TelemetrySettings", "JobQueued", "JobStarted", "JobRetry",
     "JobFinished", "PoolRebuilt", "CacheHit", "CacheMiss",
     "CacheEvicted", "CacheSwept", "WorkerEventSummary",
+    "ServiceJobAccepted", "ServiceJobStateChanged",
     "LedgerWriter", "ledger_dir_for", "list_runs", "load_run",
     "new_run_id", "summarize_run",
     "ProgressReporter",
+    "FEED_CLOSED", "EventTap", "Feed", "iter_ledger_records",
 ]

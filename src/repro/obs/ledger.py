@@ -145,17 +145,22 @@ def summarize_run(records: List[Dict[str, object]]) -> Dict[str, object]:
     return summary
 
 
-def list_runs(directory: Union[str, Path]) -> List[Dict[str, object]]:
-    """Summaries of every ledger under ``directory``, oldest first.
+def list_runs(directory: Union[str, Path],
+              limit: Optional[int] = None) -> List[Dict[str, object]]:
+    """Summaries of the ledgers under ``directory``, oldest first.
 
     Run ids sort chronologically by construction, so lexical filename
-    order is time order.
+    order is time order.  ``limit`` keeps only the newest *N* runs —
+    and, crucially, only *parses* that window: the file list is walked
+    newest-first and reading stops once ``limit`` summaries exist, so a
+    long-lived cache directory with thousands of ledgers costs N file
+    reads, not a full scan of every JSONL body.
     """
     root = Path(directory)
-    if not root.is_dir():
+    if not root.is_dir() or (limit is not None and limit <= 0):
         return []
-    summaries = []
-    for path in sorted(root.glob("*.jsonl")):
+    summaries: List[Dict[str, object]] = []
+    for path in sorted(root.glob("*.jsonl"), reverse=True):
         records = _read_records(path)
         if not records:
             continue
@@ -163,6 +168,9 @@ def list_runs(directory: Union[str, Path]) -> List[Dict[str, object]]:
         summary.setdefault("run_id", path.stem)
         summary["path"] = str(path)
         summaries.append(summary)
+        if limit is not None and len(summaries) >= limit:
+            break
+    summaries.reverse()
     return summaries
 
 

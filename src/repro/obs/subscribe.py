@@ -1,0 +1,238 @@
+"""Subscription primitives over the event bus and the run ledger.
+
+The bus (:mod:`repro.obs.bus`) delivers events synchronously to
+callbacks registered *before* the run; the simulation service needs the
+complementary shape — consumers that arrive late, read at their own
+pace, and disconnect without affecting the producer:
+
+* :class:`Feed` — an append-only, replayable event feed.  Producers
+  :meth:`~Feed.append` items and eventually :meth:`~Feed.close`;
+  subscribers get the full history replayed on subscribe, then live
+  items, in order.  Each :class:`~repro.service.core.JobTicket` carries
+  one, which is what the HTTP ``/stream`` endpoint serves.  Dropping a
+  subscriber never perturbs the feed — a client disconnecting
+  mid-stream cannot cancel the job producing it.
+* :class:`EventTap` — a thread-safe, queue-backed subscription over an
+  :class:`~repro.obs.bus.EventBus`.  The bus calls subscribers on the
+  publishing thread; the tap buffers events so another thread (an
+  asyncio executor, a test) can drain them with a timeout.
+* :func:`iter_ledger_records` — follow one run-ledger JSONL as it is
+  written, yielding records until the ``end`` footer (or a timeout):
+  the same records ``repro runs show`` prints, as a live stream.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.obs.bus import EventBus
+from repro.obs.events import Event
+
+#: Sentinel a Feed delivers (and ``iter()`` swallows) at end-of-stream.
+FEED_CLOSED = object()
+
+
+class Feed:
+    """Append-only event feed with replay-then-live subscriptions.
+
+    Thread-safe: producers append from worker/executor threads while
+    subscribers attach and detach from servers or tests.  Subscribing
+    replays the existing history *under the feed lock*, so a subscriber
+    sees every item exactly once, in append order, with no gap between
+    replay and live delivery.  Subscriber callbacks must be quick and
+    non-blocking (typically a queue put); a callback that raises is
+    dropped rather than allowed to wedge the producer.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: List[object] = []
+        self._subscribers: List[Callable[[object], None]] = []
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has ended the stream."""
+        return self._closed
+
+    def append(self, item: object) -> None:
+        """Record one item and deliver it to every live subscriber."""
+        with self._lock:
+            if self._closed:
+                raise ValueError("append to a closed feed")
+            self._items.append(item)
+            subscribers = list(self._subscribers)
+            for callback in subscribers:
+                try:
+                    callback(item)
+                except Exception:
+                    self._subscribers.remove(callback)
+
+    def close(self) -> None:
+        """End the stream: subscribers get the sentinel, then detach."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            subscribers, self._subscribers = self._subscribers, []
+            for callback in subscribers:
+                try:
+                    callback(FEED_CLOSED)
+                except Exception:
+                    pass
+
+    def history(self) -> List[object]:
+        """A snapshot of everything appended so far."""
+        with self._lock:
+            return list(self._items)
+
+    def subscribe(self, callback: Callable[[object], None],
+                  replay: bool = True) -> Callable[[], None]:
+        """Attach ``callback``; returns the detach function.
+
+        With ``replay`` (default) the existing history is delivered
+        first, atomically with the registration, so no item is missed
+        or duplicated.  On an already-closed feed the history is
+        replayed and the sentinel delivered immediately.
+        """
+        with self._lock:
+            if replay:
+                for item in self._items:
+                    callback(item)
+            if self._closed:
+                callback(FEED_CLOSED)
+                return lambda: None
+            self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if callback in self._subscribers:
+                    self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    def iter(self, timeout: Optional[float] = None,
+             replay: bool = True) -> Iterator[object]:
+        """Iterate replay + live items until the feed closes.
+
+        ``timeout`` bounds the wait for *each* item; expiry ends the
+        iteration (it does not raise).  Detaches on garbage collection
+        of the generator as well as on normal exhaustion.
+        """
+        buffer: "queue.Queue[object]" = queue.Queue()
+        unsubscribe = self.subscribe(buffer.put, replay=replay)
+        try:
+            while True:
+                try:
+                    item = buffer.get(timeout=timeout)
+                except queue.Empty:
+                    return
+                if item is FEED_CLOSED:
+                    return
+                yield item
+        finally:
+            unsubscribe()
+
+
+class EventTap:
+    """Queue-backed, thread-safe subscription over an :class:`EventBus`.
+
+    The bus delivers synchronously on the publishing thread; the tap
+    buffers into a queue so any other thread can drain at leisure::
+
+        with EventTap(bus, JobFinished) as tap:
+            run_batch()
+            done = tap.drain()
+
+    Detaching (``close`` / context exit) is idempotent and never
+    disturbs the bus's other subscribers.
+    """
+
+    def __init__(self, bus: EventBus, *event_types: type) -> None:
+        self.bus = bus
+        self._queue: "queue.Queue[Event]" = queue.Queue()
+        self._attached = True
+        # The bus dispatches by exact event type; no types at all means
+        # the subscribe-to-all list, which is what an untyped tap wants.
+        bus.subscribe(self._queue.put, *event_types)
+
+    def drain(self) -> List[Event]:
+        """Every buffered event, without waiting."""
+        events: List[Event] = []
+        while True:
+            try:
+                events.append(self._queue.get_nowait())
+            except queue.Empty:
+                return events
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Event]:
+        """The next event, or None when ``timeout`` expires."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:
+        """Detach from the bus; idempotent, buffered events stay drainable."""
+        if not self._attached:
+            return
+        self._attached = False
+        self.bus.unsubscribe(self._queue.put)
+
+    def __enter__(self) -> "EventTap":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_ledger_records(path: Union[str, Path],
+                        poll: float = 0.05,
+                        timeout: Optional[float] = None,
+                        ) -> Iterator[Dict[str, object]]:
+    """Follow one run-ledger JSONL file as it is written.
+
+    Yields each parsed record (``batch`` header, ``job`` lines, ``end``
+    footer) in file order, polling for growth, and returns after the
+    ``end`` record — the writer flushes per line, so a live batch
+    streams record by record.  ``timeout`` bounds the total wait for
+    *new* data; expiry ends the iteration quietly (an unfinished ledger
+    from a killed batch then yields whatever was flushed).
+    """
+    path = Path(path)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    position = 0
+    while True:
+        try:
+            with path.open(encoding="utf-8") as handle:
+                handle.seek(position)
+                chunk = handle.read()
+        except OSError:
+            chunk = ""
+        consumed = 0
+        for line in chunk.splitlines(keepends=True):
+            if not line.endswith("\n"):
+                break  # torn tail: re-read once the writer finishes it
+            consumed += len(line)
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+            except ValueError:
+                continue
+            yield record
+            if record.get("record") == "end":
+                return
+        position += consumed
+        if deadline is not None and time.monotonic() >= deadline:
+            return
+        time.sleep(poll)
+
+
+__all__ = ["FEED_CLOSED", "EventTap", "Feed", "iter_ledger_records"]

@@ -192,10 +192,41 @@ class WorkerEventSummary(EngineEvent):
     sampled: Tuple = ()
 
 
+@dataclass(slots=True)
+class ServiceJobAccepted(EngineEvent):
+    """The simulation service accepted one submission.
+
+    ``deduped`` marks a submission that single-flighted onto an
+    existing in-flight (or memoised) execution instead of creating a
+    new one — the N-responses half of "one engine execution, N
+    responses".
+    """
+
+    job_id: str = ""
+    label: str = ""
+    spec_hash: str = ""
+    deduped: bool = False
+
+
+@dataclass(slots=True)
+class ServiceJobStateChanged(EngineEvent):
+    """One service job moved through its lifecycle.
+
+    ``state`` is a :class:`~repro.service.core.JobState` value
+    (``queued`` → ``running`` → ``ok`` / ``failed`` / ``timed_out`` /
+    ``cancelled``).
+    """
+
+    job_id: str = ""
+    label: str = ""
+    state: str = ""
+
+
 #: Every engine/cache event type, in a stable order (exporters, docs).
 ENGINE_EVENT_TYPES: Tuple[type, ...] = (
     JobQueued, JobStarted, JobRetry, JobFinished, PoolRebuilt,
     CacheHit, CacheMiss, CacheEvicted, CacheSwept, WorkerEventSummary,
+    ServiceJobAccepted, ServiceJobStateChanged,
 )
 
 
@@ -654,6 +685,8 @@ __all__ = [
     "JobStarted",
     "JobTelemetry",
     "PoolRebuilt",
+    "ServiceJobAccepted",
+    "ServiceJobStateChanged",
     "TelemetrySettings",
     "WorkerEventSummary",
     "WorkerTelemetry",

@@ -1,0 +1,156 @@
+"""Blocking HTTP client for the simulation service.
+
+Stdlib-only (``http.client``), mirroring the API surface in
+:mod:`repro.service.api`: submit, status, settled result, and the JSONL
+event stream.  This is what ``repro submit`` and the CI smoke job use;
+``examples/service_client.py`` shows the same calls end to end.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """One service endpoint, addressed as ``host:port``.
+
+    Connections are per-call (the service closes after each response),
+    so a client object is cheap and holds no sockets between calls.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8352,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # one request/response exchange
+    # ------------------------------------------------------------------
+
+    def _call(self, method: str, path: str,
+              payload: Optional[dict] = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            try:
+                doc = json.loads(text) if text else {}
+            except ValueError:
+                doc = {"error": text}
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   str(doc.get("error", text)))
+            return doc
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """GET ``/healthz``: liveness plus job/engine counters."""
+        return self._call("GET", "/healthz")
+
+    def submit(self, request: dict) -> dict:
+        """POST one job request document; returns the status document.
+
+        ``request`` is the wire form
+        :meth:`repro.service.core.JobRequest.from_dict` accepts:
+        ``benchmark`` plus either ``technique`` (a registered name) or
+        ``spec`` (a full technique-spec object), and optional ``seed``,
+        ``scale``, ``fast_forward``.
+        """
+        return self._call("POST", "/v1/jobs", payload=request)
+
+    def jobs(self) -> List[dict]:
+        """GET ``/v1/jobs``: status documents for every known job."""
+        return self._call("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        """GET one job's status document (404 -> :class:`ServiceError`)."""
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str, wait: float = 0.0) -> dict:
+        """GET the result document, long-polling up to ``wait`` seconds."""
+        path = f"/v1/jobs/{job_id}/result"
+        if wait > 0:
+            path += f"?wait={wait}"
+        return self._call("GET", path)
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the job settles; returns the result document.
+
+        Uses the server-side ``?wait`` long-poll per round, falling
+        back to client-side polling between rounds, so it works with
+        short per-request timeouts too.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} did not settle within "
+                                   f"{timeout:.1f}s")
+            try:
+                return self.result(job_id,
+                                   wait=min(remaining, self.timeout / 2))
+            except ServiceError as exc:
+                if exc.status not in (404, 408):
+                    raise
+            time.sleep(poll)
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """Yield the job's feed records (JSONL) until the stream ends.
+
+        Closing the generator mid-stream just drops the connection —
+        the server keeps the job running.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status >= 400:
+                text = response.read().decode("utf-8")
+                try:
+                    doc = json.loads(text)
+                except ValueError:
+                    doc = {"error": text}
+                raise ServiceError(response.status,
+                                   str(doc.get("error", text)))
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+
+__all__ = ["ServiceClient", "ServiceError"]

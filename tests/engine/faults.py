@@ -98,6 +98,36 @@ class FaultyWorker:
         return self.fn(item)
 
 
+@dataclass(frozen=True)
+class CountingWorker:
+    """Picklable wrapper that records every invocation on disk.
+
+    Each call drops one uniquely-named marker file under
+    ``marker_dir`` (named after the item's plan key), so execution
+    counts survive process-pool boundaries — the observable proof that
+    single-flight dedupe ran a cell exactly once.
+    """
+
+    fn: Callable
+    marker_dir: str
+    key: Callable = identity_key
+
+    def __call__(self, item: Any) -> Any:
+        import tempfile
+        slug = _slug(self.key(item))
+        fd, _name = tempfile.mkstemp(dir=self.marker_dir,
+                                     prefix=f"{slug}.", suffix=".ran")
+        os.close(fd)
+        return self.fn(item)
+
+
+def count_executions(marker_dir, key: Any) -> int:
+    """How many times :class:`CountingWorker` ran items with ``key``."""
+    slug = _slug(key)
+    return sum(1 for name in os.listdir(marker_dir)
+               if name.startswith(f"{slug}.") and name.endswith(".ran"))
+
+
 class FaultyEngine(ParallelEngine):
     """A :class:`ParallelEngine` whose sim jobs run under a fault plan.
 

@@ -1,0 +1,115 @@
+"""Cross-process cache safety: rename barrier + maintenance lock.
+
+The write path is lock-free by design (temp file + ``os.replace`` is
+the publication barrier); these tests pin that contract under real
+multi-process hammering, and check that the *destructive* maintenance
+passes — janitor sweep, LRU eviction — exclude each other through the
+advisory ``flock`` on ``.maintenance.lock``.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.engine.cache import (
+    LOCK_FILENAME,
+    RunCache,
+    maintenance_lock,
+)
+
+from tests.engine.faults import plant_stale_tmp
+
+
+def _put_many(args):
+    """Process-pool payload: hammer one key with distinct-ish values."""
+    root, worker_id, rounds = args
+    cache = RunCache(root, janitor=False)
+    for i in range(rounds):
+        cache.put("results", "contested", list(range(200)) + [worker_id])
+    return worker_id
+
+
+class TestRenameBarrier:
+    def test_concurrent_writers_same_key_leave_one_valid_entry(
+            self, tmp_path):
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            done = list(pool.map(_put_many,
+                                 [(str(tmp_path), w, 20)
+                                  for w in range(4)]))
+        assert sorted(done) == [0, 1, 2, 3]
+        # Exactly one published entry, no leftover temp files, and the
+        # survivor decodes cleanly (last writer won with a full blob).
+        names = sorted(p.name for p in (tmp_path / "results").iterdir())
+        assert names == ["contested.pkl"]
+        value = RunCache(tmp_path, janitor=False).get("results",
+                                                      "contested")
+        assert value is not None and value[:3] == [0, 1, 2]
+
+    def test_put_survives_tmp_swept_mid_write(self, tmp_path,
+                                              monkeypatch):
+        # Simulate another process's janitor deleting our temp file
+        # between the write and the publishing rename: the first
+        # os.replace sees no source and put() must retry with a fresh
+        # temp file rather than fail.
+        cache = RunCache(tmp_path, janitor=False)
+        real_replace = os.replace
+        calls = []
+
+        def sweeping_replace(src, dst):
+            if not calls:
+                calls.append(src)
+                os.unlink(src)
+                return real_replace(src, dst)  # raises FileNotFoundError
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", sweeping_replace)
+        cache.put("results", "key", {"cycles": 7})
+        assert calls  # the sweep really happened
+        assert cache.get("results", "key") == {"cycles": 7}
+        leftovers = [p for p in (tmp_path / "results").iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestMaintenanceLock:
+    def test_lock_excludes_within_and_across_holders(self, tmp_path):
+        # flock is per open-file-description, so two acquisitions model
+        # two processes exactly.
+        with maintenance_lock(tmp_path) as held:
+            assert held
+            with maintenance_lock(tmp_path) as second:
+                assert not second
+        with maintenance_lock(tmp_path) as again:
+            assert again  # released cleanly
+
+    def test_sweep_skips_turn_while_locked(self, tmp_path):
+        orphan = plant_stale_tmp(tmp_path)
+        cache = RunCache(tmp_path, janitor=False)
+        with maintenance_lock(tmp_path) as held:
+            assert held
+            assert cache.sweep_tmp() == 0  # loser skips, never blocks
+            assert orphan.exists()
+        assert cache.sweep_tmp() == 1
+        assert not orphan.exists()
+
+    def test_evict_skips_turn_and_resyncs_later(self, tmp_path):
+        cache = RunCache(tmp_path, max_bytes=1, janitor=False)
+        with maintenance_lock(tmp_path) as held:
+            assert held
+            cache.put("results", "a", list(range(500)))
+            # The evictor lost the lock race: nothing deleted, and the
+            # incremental size estimate is dropped for a later re-sync.
+            assert cache.path("results", "a").exists()
+            assert cache.evictions == 0
+            assert cache._approx_bytes is None
+        cache.put("results", "b", list(range(500)))
+        assert cache.evictions >= 1  # re-synced and enforced the cap
+
+    def test_lock_file_is_not_a_cache_entry(self, tmp_path):
+        cache = RunCache(tmp_path, max_bytes=None, janitor=False)
+        cache.put("results", "a", 1)
+        cache.sweep_tmp()
+        assert (tmp_path / LOCK_FILENAME).exists()
+        # total_bytes / eviction walk only *.pkl entries in group dirs,
+        # so the lock file can never be counted or evicted.
+        assert cache.total_bytes() == \
+            cache.path("results", "a").stat().st_size

@@ -55,8 +55,7 @@ def test_public_items_have_docstrings(path):
 
 class TestRepositoryDocuments:
     def test_required_documents_exist(self):
-        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
-                     "results_full_scale.txt"):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
             assert (REPO / name).exists(), f"missing {name}"
         for name in ("architecture.md", "power_model.md",
                      "scheduling.md", "workloads.md", "testing.md"):

@@ -5,8 +5,9 @@ fixed seed and scale.  Unlike the invariant and shape tests, a failure
 here does not necessarily mean a bug — it means simulator *semantics*
 changed (issue order, latency accounting, gating timing, trace
 generation).  If the change is intentional, re-record the constants
-(the commented command below) and regenerate `results_full_scale.txt` +
-EXPERIMENTS.md, which are calibrated against the same semantics.
+(the commented command below), regenerate the full-scale artifact
+(`python -m repro figures`, written under `results/`) and update
+EXPERIMENTS.md, which is calibrated against the same semantics.
 
 Trace generation uses numpy's PCG64 generator, whose stream is stable
 across numpy versions (NEP 19), so these values are portable.

@@ -19,10 +19,20 @@ Regenerate (only when an *intentional* behaviour change lands) with::
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
 import json
 from pathlib import Path
+
+# Canonicalisation and digests now live in the product tree (the
+# simulation service serves digests over HTTP); re-exported here so the
+# golden suite and its historical import path keep working unchanged.
+from repro.core.digest import (  # noqa: F401 - re-exported test API
+    canonical_device_result,
+    canonical_events,
+    canonical_result,
+    device_result_digest,
+    event_stream_digest,
+    result_digest,
+)
 
 GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "identity.json"
 
@@ -35,80 +45,6 @@ GOLDEN_SCALE = 0.5
 
 #: Device preset pinned at chip scale (the paper's 15-SM GTX480).
 GOLDEN_DEVICE_PRESET = "gtx480"
-
-
-def _canon(value):
-    """Recursively convert a value into JSON-stable primitives."""
-    if isinstance(value, dict):
-        return {str(_canon(k)): _canon(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_canon(v) for v in value]
-    if isinstance(value, float):
-        # repr() is the shortest round-trip form — exact for identical
-        # arithmetic, which is precisely what bit-identity means here.
-        return repr(value)
-    if isinstance(value, (int, str, bool)) or value is None:
-        return value
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return _canon(dataclasses.asdict(value))
-    if hasattr(value, "name"):  # enums (OpClass, ExecUnitKind, ...)
-        return value.name
-    return str(value)
-
-
-def canonical_result(result) -> dict:
-    """Everything observable about one run, in canonical form."""
-    stats = result.stats
-    return _canon({
-        "kernel_name": result.kernel_name,
-        "technique": result.technique,
-        "cycles": result.cycles,
-        "stats": {
-            "cycles": stats.cycles,
-            "instructions_issued": stats.instructions_issued,
-            "instructions_retired": stats.instructions_retired,
-            "fetched": stats.fetched,
-            "issued_by_class": {cls.name: n
-                                for cls, n in stats.issued_by_class.items()},
-            "stalls": dataclasses.asdict(stats.stalls),
-            "active_warp_sum": stats.active_warp_sum,
-            "active_warp_max": stats.active_warp_max,
-            "pending_warp_sum": stats.pending_warp_sum,
-            "idle_trackers": {
-                name: {"busy": t.busy_cycles, "idle": t.idle_cycles,
-                       "histogram": {str(k): v
-                                     for k, v in sorted(t.histogram.items())}}
-                for name, t in sorted(stats.idle_trackers.items())},
-        },
-        "memory": result.memory,
-        "domain_stats": {name: result.domain_stats[name]
-                         for name in sorted(result.domain_stats)},
-        "idle_detect_final": result.idle_detect_final,
-        "pipeline_issues": result.pipeline_issues,
-        "pipeline_lane_work": result.pipeline_lane_work,
-        "warp_records": [dataclasses.asdict(r) for r in result.warp_records],
-        "metrics": result.metrics,
-    })
-
-
-def result_digest(result) -> str:
-    """sha256 over the canonical JSON of one run."""
-    payload = json.dumps(canonical_result(result), sort_keys=True,
-                         separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-def canonical_events(events) -> list:
-    """An instrumented run's event stream in canonical form, ordered."""
-    return [[type(e).__name__, _canon(dataclasses.asdict(e))]
-            for e in events]
-
-
-def event_stream_digest(events) -> str:
-    """sha256 over the ordered canonical event stream."""
-    payload = json.dumps(canonical_events(events), sort_keys=True,
-                         separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -156,29 +92,6 @@ def run_golden_device(benchmark: str, technique_value: str,
               memory_side=preset.memory_side,
               fast_forward=fast_forward)
     return gpu.run(kernel)
-
-
-def canonical_device_result(result) -> dict:
-    """Everything observable about one multi-SM run, in canonical form.
-
-    Per-SM results are canonicalised in part order (the aggregation
-    order both the serial and engine paths guarantee), so the digest
-    pins the whole fan-out, not just the chip-level maxima.
-    """
-    return _canon({
-        "kernel_name": result.kernel_name,
-        "technique": result.technique,
-        "cycles": result.cycles,
-        "total_instructions": result.total_instructions,
-        "sm_results": [canonical_result(r) for r in result.sm_results],
-    })
-
-
-def device_result_digest(result) -> str:
-    """sha256 over the canonical JSON of one multi-SM run."""
-    payload = json.dumps(canonical_device_result(result), sort_keys=True,
-                         separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def run_instrumented_golden(benchmark: str = "hotspot",
